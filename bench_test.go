@@ -1,0 +1,311 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (Section 7), one benchmark per artifact, plus ablations of the
+// design choices DESIGN.md calls out. Benchmarks run the Quick experiment
+// variants so `go test -bench=. -benchmem` finishes in minutes; run
+// cmd/repro for the full-scale sweeps. Key outcomes are attached to the
+// benchmark output via ReportMetric, so the benchmark log doubles as a
+// results record.
+
+import (
+	"testing"
+
+	"repro/internal/autotune"
+	"repro/internal/conv"
+	"repro/internal/dag"
+	"repro/internal/experiments"
+	"repro/internal/memsim"
+	"repro/internal/pebble"
+	"repro/internal/report"
+	"repro/internal/shapes"
+)
+
+func quickOpts() experiments.Options { return experiments.Options{Quick: true, Seed: 1} }
+
+// BenchmarkFig9 regenerates Figure 9: dataflow-vs-library speedups for the
+// direct convolution (strides 1, 2, 4) and the Winograd algorithm across
+// image sizes and output channels on the 1080Ti model.
+func BenchmarkFig9(b *testing.B) {
+	var direct, wino float64
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Fig9(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var d, w []float64
+		for _, r := range results {
+			if r.Algorithm == "direct" {
+				d = append(d, r.Speedup)
+			} else {
+				w = append(w, r.Speedup)
+			}
+		}
+		direct, wino = report.GeoMean(d), report.GeoMean(w)
+	}
+	b.ReportMetric(direct, "direct-speedup-geomean")
+	b.ReportMetric(wino, "winograd-speedup-geomean")
+}
+
+// BenchmarkFig10 regenerates Figure 10: batched direct-convolution speedups.
+func BenchmarkFig10(b *testing.B) {
+	var gm float64
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Fig10(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var v []float64
+		for _, r := range results {
+			v = append(v, r.Speedup)
+		}
+		gm = report.GeoMean(v)
+	}
+	b.ReportMetric(gm, "batched-speedup-geomean")
+}
+
+// BenchmarkFig11 regenerates Figure 11: tuning-convergence curves of the
+// auto-tuning engine vs simulated annealing, genetic and random search.
+func BenchmarkFig11(b *testing.B) {
+	var ate, lib float64
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig11(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ate = res.ATE[len(res.ATE)-1]
+		lib = res.Baseline
+	}
+	b.ReportMetric(ate, "ate-final-gflops")
+	b.ReportMetric(lib, "library-gflops")
+}
+
+// BenchmarkTable2 regenerates Table 2: search-space sizes, convergence and
+// final performance, TVM-proxy vs the engine's pruned searching domain.
+func BenchmarkTable2(b *testing.B) {
+	var ratio, perf float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table2(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratios, perfs []float64
+		for _, r := range rows {
+			ratios = append(ratios, r.Ratio)
+			perfs = append(perfs, r.PerfRatio)
+		}
+		ratio, perf = report.GeoMean(ratios), report.GeoMean(perfs)
+	}
+	b.ReportMetric(100*ratio, "space-ratio-pct")
+	b.ReportMetric(perf, "ate-vs-tvm-perf")
+}
+
+// BenchmarkFig12 regenerates Figure 12: end-to-end CNN inference.
+func BenchmarkFig12(b *testing.B) {
+	var gm float64
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Fig12(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var v []float64
+		for _, r := range results {
+			v = append(v, r.Speedup)
+		}
+		gm = report.GeoMean(v)
+	}
+	b.ReportMetric(gm, "model-speedup-geomean")
+}
+
+// BenchmarkFig13 regenerates Figure 13: architecture sensitivity.
+func BenchmarkFig13(b *testing.B) {
+	var vsLib float64
+	for i := 0; i < b.N; i++ {
+		results, _, err := experiments.Fig13(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var v []float64
+		for _, r := range results {
+			v = append(v, r.Ours/r.Library)
+		}
+		vsLib = report.GeoMean(v)
+	}
+	b.ReportMetric(vsLib, "ours-vs-library-geomean")
+}
+
+// BenchmarkTheory plays pebble games on convolution DAGs and checks the
+// bounds, reporting the tightness Q/bound of the best schedule found.
+func BenchmarkTheory(b *testing.B) {
+	var rows []experiments.TheoryRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Theory(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Bound > 0 {
+			b.ReportMetric(float64(r.QBelady)/r.Bound, "Q-over-bound")
+			break
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationPruning isolates the optimality-condition pruning: the
+// same engine tunes AlexNet conv2 on the full vs pruned space.
+func BenchmarkAblationPruning(b *testing.B) {
+	arch := memsim.V100
+	layer := shapes.ConvShape{Batch: 1, Cin: 96, Hin: 27, Win: 27, Cout: 256, Hker: 5, Wker: 5, Strid: 1, Pad: 2}
+	measure := autotune.DirectMeasurer(arch, layer)
+	opts := autotune.DefaultOptions()
+	opts.Budget = 64
+	opts.Patience = 0
+	var fullG, prunedG float64
+	for i := 0; i < b.N; i++ {
+		full, err := autotune.NewSpace(layer, arch, autotune.Direct, 0, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pruned, err := autotune.NewSpace(layer, arch, autotune.Direct, 0, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tf, err := autotune.Tune(full, measure, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tp, err := autotune.Tune(pruned, measure, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullG, prunedG = tf.BestM.GFLOPS, tp.BestM.GFLOPS
+	}
+	b.ReportMetric(fullG, "full-space-gflops")
+	b.ReportMetric(prunedG, "pruned-space-gflops")
+}
+
+// BenchmarkAblationModelGuided isolates the learned cost model: the engine
+// vs pure random search at equal budget.
+func BenchmarkAblationModelGuided(b *testing.B) {
+	arch := memsim.V100
+	layer := shapes.ConvShape{Batch: 1, Cin: 256, Hin: 28, Win: 28, Cout: 128, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	measure := autotune.DirectMeasurer(arch, layer)
+	opts := autotune.DefaultOptions()
+	opts.Budget = 64
+	opts.Patience = 0
+	var guided, random float64
+	for i := 0; i < b.N; i++ {
+		sp, err := autotune.NewSpace(layer, arch, autotune.Direct, 0, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tg, err := autotune.Tune(sp, measure, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rg, err := autotune.RandomSearch(sp, measure, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		guided, random = tg.BestM.GFLOPS, rg.BestM.GFLOPS
+	}
+	b.ReportMetric(guided, "model-guided-gflops")
+	b.ReportMetric(random, "random-gflops")
+}
+
+// BenchmarkAblationWinogradE isolates the Winograd output tile size: the
+// untuned dataflow design at e=2 vs e=4.
+func BenchmarkAblationWinogradE(b *testing.B) {
+	arch := memsim.GTX1080Ti
+	layer := shapes.ConvShape{Batch: 1, Cin: 256, Hin: 56, Win: 56, Cout: 128, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	var e2, e4 float64
+	for i := 0; i < b.N; i++ {
+		r2, err := conv.WinogradFusedDry(arch, layer, conv.DefaultWinogradConfig(arch, layer, 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r4, err := conv.WinogradFusedDry(arch, layer, conv.DefaultWinogradConfig(arch, layer, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e2, e4 = r2.GFLOPS, r4.GFLOPS
+	}
+	b.ReportMetric(e2, "e2-gflops")
+	b.ReportMetric(e4, "e4-gflops")
+}
+
+// BenchmarkAblationEviction isolates the greedy pebble scheduler's eviction
+// policy on a real convolution DAG.
+func BenchmarkAblationEviction(b *testing.B) {
+	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 6, Win: 6, Cout: 3, Hker: 3, Wker: 3, Strid: 1}
+	g, err := dag.BuildDirectConv(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var lru, belady int
+	for i := 0; i < b.N; i++ {
+		bl, err := pebble.Greedy(g.Graph, 16, pebble.Belady)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lr, err := pebble.Greedy(g.Graph, 16, pebble.LRU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lru, belady = lr.IO(), bl.IO()
+	}
+	b.ReportMetric(float64(belady), "Q-belady")
+	b.ReportMetric(float64(lru), "Q-lru")
+}
+
+// BenchmarkDirectTiledWet measures the wall-clock cost of the wet (real
+// data) dataflow execution itself — the library's own performance as Go
+// code, not the simulated GPU time.
+func BenchmarkDirectTiledWet(b *testing.B) {
+	arch := memsim.GTX1080Ti
+	s := shapes.ConvShape{Batch: 1, Cin: 32, Hin: 56, Win: 56, Cout: 32, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	in, ker := conv.RandomOperands(s, 1)
+	cfg := conv.DefaultDirectConfig(arch, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.DirectTiled(arch, s, cfg, in, ker); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWinogradFusedWet is the wet-execution benchmark for the fused
+// Winograd dataflow.
+func BenchmarkWinogradFusedWet(b *testing.B) {
+	arch := memsim.GTX1080Ti
+	s := shapes.ConvShape{Batch: 1, Cin: 32, Hin: 56, Win: 56, Cout: 32, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	in, ker := conv.RandomOperands(s, 2)
+	cfg := conv.DefaultWinogradConfig(arch, s, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.WinogradFused(arch, s, cfg, in, ker); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureDry measures one count-only dataflow evaluation — the unit
+// of work of every tuning measurement.
+func BenchmarkMeasureDry(b *testing.B) {
+	arch := memsim.V100
+	s := shapes.ConvShape{Batch: 1, Cin: 256, Hin: 112, Win: 112, Cout: 512, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	cfg := conv.DefaultDirectConfig(arch, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conv.DirectTiledDry(arch, s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command autotune tunes one convolution layer with the paper's engine and
+// prints the convergence trace and the winning configuration.
+//
+// Usage:
+//
+//	autotune -cin 96 -hw 27 -cout 256 -k 5 -pad 2 -arch V100 -budget 300
+//	autotune -algo winograd -cin 256 -hw 13 -cout 384 -k 3 -pad 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/autotune"
+)
+
+func main() {
+	cin := flag.Int("cin", 96, "input channels")
+	hw := flag.Int("hw", 27, "input height and width")
+	cout := flag.Int("cout", 256, "output channels")
+	k := flag.Int("k", 5, "kernel size")
+	stride := flag.Int("stride", 1, "stride")
+	pad := flag.Int("pad", 2, "padding")
+	batch := flag.Int("batch", 1, "batch size")
+	archName := flag.String("arch", "V100", "architecture name")
+	algo := flag.String("algo", "direct", "direct|winograd")
+	budget := flag.Int("budget", 300, "measurement budget")
+	seed := flag.Int64("seed", 1, "random seed")
+	emit := flag.Bool("emit", false, "print the kernel schedule of the winning configuration")
+	cachePath := flag.String("cache", "", "tuning-cache JSON file (read if present, updated on exit)")
+	flag.Parse()
+
+	s, err := repro.NewShape(*batch, *cin, *hw, *cout, *k, *stride, *pad)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	arch, err := repro.ArchByName(*archName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	kind := autotune.Direct
+	if *algo == "winograd" {
+		kind = autotune.Winograd
+	} else if *algo != "direct" {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	cache := autotune.NewCache()
+	if *cachePath != "" {
+		if err := cache.LoadFile(*cachePath); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "cache: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cfg, m, ok := cache.Get(arch.Name, kind, s); ok {
+		fmt.Printf("cache hit: %v\nsimulated: %.3gs (%.0f GFLOP/s)\n", cfg, m.Seconds, m.GFLOPS)
+		if *emit {
+			fmt.Println()
+			fmt.Print(autotune.EmitSchedule(kind, s, cfg))
+		}
+		return
+	}
+
+	opts := repro.TuneOptions{Budget: *budget, Seed: *seed}
+	var trace *repro.TuneTrace
+	switch kind {
+	case autotune.Direct:
+		trace, err = repro.TuneDirect(arch, s, opts)
+	case autotune.Winograd:
+		trace, err = repro.TuneWinograd(arch, s, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("layer:       %v\n", s)
+	fmt.Printf("arch:        %s\n", arch.Name)
+	fmt.Printf("measurements %d, best found at #%d\n", trace.Measurements, trace.ConvergedAt)
+	fmt.Printf("best config: %v\n", trace.Best)
+	fmt.Printf("simulated:   %.3gs (%.0f GFLOP/s)\n", trace.BestM.Seconds, trace.BestM.GFLOPS)
+
+	// Roofline diagnosis of the winner.
+	var res *repro.Result
+	if kind == autotune.Winograd {
+		res, err = repro.MeasureWinograd(arch, s, trace.Best)
+	} else {
+		res, err = repro.MeasureDirect(arch, s, trace.Best)
+	}
+	if err == nil {
+		fmt.Printf("diagnosis:   %v\n\n", arch.Explain(res.Counts, res.Launch))
+	}
+
+	lib, err := repro.MeasureLibraryDirect(arch, s)
+	if err == nil {
+		fmt.Printf("library direct baseline: %.3gs (%.0f GFLOP/s) -> speedup %.2fx\n",
+			lib.Seconds, lib.GFLOPS, lib.Seconds/trace.BestM.Seconds)
+	}
+
+	fmt.Println("\nconvergence (best-so-far GFLOP/s):")
+	step := len(trace.Curve) / 15
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(trace.Curve); i += step {
+		fmt.Printf("  after %4d: %8.1f\n", i+1, trace.Curve[i])
+	}
+
+	if *emit {
+		fmt.Println()
+		fmt.Print(autotune.EmitSchedule(kind, s, trace.Best))
+	}
+	if *cachePath != "" {
+		cache.Put(arch.Name, kind, s, trace.Best, trace.BestM)
+		if err := cache.SaveFile(*cachePath); err != nil {
+			fmt.Fprintf(os.Stderr, "cache save: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

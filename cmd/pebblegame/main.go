@@ -1,0 +1,78 @@
+// Command pebblegame plays the red–blue pebble game on the DAG of a small
+// direct convolution and compares measured I/O against the paper's lower
+// bound (Theorem 4.12). DAG sizes explode quickly, so shapes must be tiny;
+// the defaults finish instantly.
+//
+// Usage:
+//
+//	pebblegame -cin 2 -hw 5 -cout 2 -k 3 -s 8,16,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/pebble"
+	"repro/internal/report"
+)
+
+func main() {
+	cin := flag.Int("cin", 2, "input channels")
+	hw := flag.Int("hw", 5, "input height and width")
+	cout := flag.Int("cout", 2, "output channels")
+	k := flag.Int("k", 3, "kernel size")
+	stride := flag.Int("stride", 1, "stride")
+	sizes := flag.String("s", "4,8,16,32", "comma-separated red pebble counts (the Theorem 4.12 bound is asymptotic: it vanishes when S is large relative to the DAG)")
+	flag.Parse()
+
+	s, err := repro.NewShape(1, *cin, *hw, *cout, *k, *stride, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	g, err := dag.BuildDirectConv(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("%v\nDAG: %d vertices (%d inputs, %d computed; Lemma 4.8 predicts %d)\n\n",
+		s, g.NumVertices(), g.CountKind(dag.Input), g.ComputeCount(), dag.DirectConvComputeCount(s))
+
+	t := report.New("pebble game I/O vs Theorem 4.12",
+		"S", "Q belady", "Q lru", "Q optimal", "lower bound")
+	for _, part := range strings.Split(*sizes, ",") {
+		fastMem, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad size %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		bel, err := pebble.Greedy(g.Graph, fastMem, pebble.Belady)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "S=%d: %v\n", fastMem, err)
+			os.Exit(1)
+		}
+		lru, err := pebble.Greedy(g.Graph, fastMem, pebble.LRU)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "S=%d: %v\n", fastMem, err)
+			os.Exit(1)
+		}
+		opt := "-"
+		if g.NumVertices() <= pebble.MaxOptimalVertices {
+			q, err := pebble.Optimal(g.Graph, fastMem)
+			if err == nil {
+				opt = strconv.Itoa(q)
+			}
+		}
+		t.AddRowF(fastMem, bel.IO(), lru.IO(), opt, bounds.DirectLowerBound(s, fastMem))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

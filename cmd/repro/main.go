@@ -1,0 +1,106 @@
+// Command repro regenerates the tables and figures of the paper's
+// evaluation section on the simulated-architecture substrate.
+//
+// Usage:
+//
+//	repro -exp all            # every experiment (minutes)
+//	repro -exp fig9 -quick    # one experiment at reduced scale
+//	repro -exp table2 -budget 500 -seed 7
+//
+// Experiments: fig9, fig10, fig11, table2, fig12, fig13, theory, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig9|fig10|fig11|table2|fig12|fig13|theory|all")
+	quick := flag.Bool("quick", false, "reduced sweeps and budgets")
+	budget := flag.Int("budget", 0, "override per-layer tuning budget (0 = default)")
+	seed := flag.Int64("seed", 1, "tuning seed")
+	csvDir := flag.String("csv", "", "also write each table as <dir>/<experiment>.csv")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Budget: *budget, Seed: *seed}
+	runners := map[string]func(experiments.Options) (*report.Table, error){
+		"fig9": func(o experiments.Options) (*report.Table, error) {
+			_, t, err := experiments.Fig9(o)
+			return t, err
+		},
+		"fig10": func(o experiments.Options) (*report.Table, error) {
+			_, t, err := experiments.Fig10(o)
+			return t, err
+		},
+		"fig11": func(o experiments.Options) (*report.Table, error) {
+			_, t, err := experiments.Fig11(o)
+			return t, err
+		},
+		"table2": func(o experiments.Options) (*report.Table, error) {
+			_, t, err := experiments.Table2(o)
+			return t, err
+		},
+		"fig12": func(o experiments.Options) (*report.Table, error) {
+			_, t, err := experiments.Fig12(o)
+			return t, err
+		},
+		"fig13": func(o experiments.Options) (*report.Table, error) {
+			_, t, err := experiments.Fig13(o)
+			return t, err
+		},
+		"theory": func(o experiments.Options) (*report.Table, error) {
+			_, t, err := experiments.Theory(o)
+			return t, err
+		},
+	}
+	order := []string{"theory", "fig9", "fig10", "fig11", "table2", "fig12", "fig13"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else if _, ok := runners[*exp]; ok {
+		selected = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v or all\n", *exp, order)
+		os.Exit(2)
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		table, err := runners[name](opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := table.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, name, table); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s finished in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+func writeCSV(dir, name string, table *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return table.WriteCSV(f)
+}

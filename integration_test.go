@@ -1,0 +1,105 @@
+package repro
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/autotune"
+	"repro/internal/bounds"
+)
+
+// TestFullPipeline walks the complete user journey end to end: query the
+// theory, tune a layer (with a persistent cache), emit the winning schedule,
+// run the tuned configuration on real data, verify the numerics, and check
+// the measured traffic against the lower bound and the library baseline.
+func TestFullPipeline(t *testing.T) {
+	arch, err := ArchByName("1080Ti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer, err := NewShape(1, 64, 28, 96, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Theory.
+	bound := LowerBoundDirect(layer, 8192)
+	model := DataflowIODirect(layer, 8192, 1)
+	if bound <= 0 || model < bound {
+		t.Fatalf("theory inconsistent: bound=%v model=%v", bound, model)
+	}
+
+	// 2. Tune with a cache.
+	cache := autotune.NewCache()
+	sp, err := autotune.NewSpace(layer, arch, autotune.Direct, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := autotune.DefaultOptions()
+	opts.Budget = 48
+	cfg, m, err := autotune.TuneCached(cache, sp, autotune.DirectMeasurer(arch, layer), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := cache.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reloaded := autotune.NewCache()
+	if err := reloaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, m2, err := autotune.TuneCached(reloaded, sp, func(Config) (autotune.Measurement, bool) {
+		t.Fatal("cache miss after reload")
+		return autotune.Measurement{}, false
+	}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2 != cfg || m2 != m {
+		t.Fatalf("cache round trip changed the verdict: %v vs %v", cfg2, cfg)
+	}
+
+	// 3. Emit the schedule.
+	sched := autotune.EmitSchedule(autotune.Direct, layer, cfg)
+	if !strings.Contains(sched, "__shared__") {
+		t.Errorf("schedule emission broken:\n%s", sched)
+	}
+
+	// 4. Run wet with the tuned config and verify.
+	in, ker := RandomOperands(layer, 123)
+	res, err := RunDirect(arch, layer, cfg, in, ker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(layer, res, in, ker, 2e-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. The tuned run respects the bound at its own shared-memory size and
+	// beats the library baseline.
+	if got := float64(res.Counts.GlobalIO()); got < LowerBoundDirect(layer, cfg.SharedPerBlock) {
+		t.Errorf("measured I/O %v below bound", got)
+	}
+	lib, err := MeasureLibraryDirect(arch, layer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds > lib.Seconds {
+		t.Errorf("tuned run (%v) slower than library (%v)", res.Seconds, lib.Seconds)
+	}
+
+	// 6. The tile found satisfies (or closely approaches) the optimality
+	// condition — the paper's central design claim.
+	gap := bounds.Tile{X: cfg.TileX, Y: cfg.TileY, Z: cfg.TileZ}.OptimalityGap(layer.R())
+	if gap > 0.8 {
+		t.Errorf("tuned tile %v far off the optimality condition (gap %v)", cfg, gap)
+	}
+
+	// 7. The roofline diagnosis is coherent.
+	b := arch.Explain(res.Counts, res.Launch)
+	if b.Total <= 0 || b.Bound == "" {
+		t.Errorf("diagnosis degenerate: %+v", b)
+	}
+}

@@ -1,0 +1,172 @@
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/conv"
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+// Cache persists tuning outcomes per (architecture, algorithm, layer shape),
+// the way production libraries cache their autotuner's verdicts so repeated
+// runs skip the search. Entries round-trip through JSON; the cache is safe
+// for concurrent use.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]CacheEntry
+}
+
+// CacheEntry is one persisted tuning outcome.
+type CacheEntry struct {
+	Arch    string       `json:"arch"`
+	Kind    string       `json:"kind"`
+	Shape   cachedShape  `json:"shape"`
+	Config  cachedConfig `json:"config"`
+	Seconds float64      `json:"seconds"`
+	GFLOPS  float64      `json:"gflops"`
+}
+
+// cachedShape / cachedConfig mirror the internal structs with stable JSON
+// field names, decoupling the file format from internal refactors.
+type cachedShape struct {
+	Batch, Cin, Hin, Win, Cout, Hker, Wker, Stride, Pad int
+}
+
+type cachedConfig struct {
+	TileX, TileY, TileZ          int
+	ThreadsX, ThreadsY, ThreadsZ int
+	SharedPerBlock               int
+	Layout                       int
+	WinogradE                    int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{entries: make(map[string]CacheEntry)} }
+
+func cacheKey(archName string, kind Kind, s shapes.ConvShape) string {
+	return fmt.Sprintf("%s|%s|%d,%d,%d,%d,%d,%d,%d,%d,%d", archName, kind,
+		s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad)
+}
+
+// Put stores a tuning outcome.
+func (c *Cache) Put(archName string, kind Kind, s shapes.ConvShape, cfg conv.Config, m Measurement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[cacheKey(archName, kind, s)] = CacheEntry{
+		Arch: archName, Kind: kind.String(),
+		Shape: cachedShape{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad},
+		Config: cachedConfig{cfg.TileX, cfg.TileY, cfg.TileZ,
+			cfg.ThreadsX, cfg.ThreadsY, cfg.ThreadsZ,
+			cfg.SharedPerBlock, int(cfg.Layout), cfg.WinogradE},
+		Seconds: m.Seconds, GFLOPS: m.GFLOPS,
+	}
+}
+
+// Get retrieves a cached outcome, if any.
+func (c *Cache) Get(archName string, kind Kind, s shapes.ConvShape) (conv.Config, Measurement, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[cacheKey(archName, kind, s)]
+	if !ok {
+		return conv.Config{}, Measurement{}, false
+	}
+	cfg := conv.Config{
+		TileX: e.Config.TileX, TileY: e.Config.TileY, TileZ: e.Config.TileZ,
+		ThreadsX: e.Config.ThreadsX, ThreadsY: e.Config.ThreadsY, ThreadsZ: e.Config.ThreadsZ,
+		SharedPerBlock: e.Config.SharedPerBlock,
+		Layout:         tensor.Layout(e.Config.Layout),
+		WinogradE:      e.Config.WinogradE,
+	}
+	return cfg, Measurement{Seconds: e.Seconds, GFLOPS: e.GFLOPS}, true
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Save writes the cache as deterministic (key-sorted) JSON.
+func (c *Cache) Save(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make([]CacheEntry, 0, len(keys))
+	for _, k := range keys {
+		ordered = append(ordered, c.entries[k])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ordered)
+}
+
+// Load merges entries from JSON previously written by Save.
+func (c *Cache) Load(r io.Reader) error {
+	var entries []CacheEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("autotune: cache decode: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range entries {
+		s := shapes.ConvShape{
+			Batch: e.Shape.Batch, Cin: e.Shape.Cin, Hin: e.Shape.Hin, Win: e.Shape.Win,
+			Cout: e.Shape.Cout, Hker: e.Shape.Hker, Wker: e.Shape.Wker,
+			Strid: e.Shape.Stride, Pad: e.Shape.Pad,
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("autotune: cache entry for %s: %w", e.Arch, err)
+		}
+		kind := Direct
+		if e.Kind == Winograd.String() {
+			kind = Winograd
+		}
+		c.entries[cacheKey(e.Arch, kind, s)] = e
+	}
+	return nil
+}
+
+// SaveFile and LoadFile are path-based conveniences.
+func (c *Cache) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Save(f)
+}
+
+// LoadFile merges a cache file into c.
+func (c *Cache) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Load(f)
+}
+
+// TuneCached returns the cached best for (arch, kind, shape) or runs the
+// engine and caches its verdict.
+func TuneCached(cache *Cache, sp *Space, measure Measurer, opts Options) (conv.Config, Measurement, error) {
+	if cfg, m, ok := cache.Get(sp.Arch.Name, sp.Kind, sp.Shape); ok {
+		return cfg, m, nil
+	}
+	tr, err := Tune(sp, measure, opts)
+	if err != nil {
+		return conv.Config{}, Measurement{}, err
+	}
+	cache.Put(sp.Arch.Name, sp.Kind, sp.Shape, tr.Best, tr.BestM)
+	return tr.Best, tr.BestM, nil
+}

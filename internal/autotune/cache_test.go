@@ -1,0 +1,195 @@
+package autotune
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/conv"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := NewCache()
+	s := layer()
+	cfg := conv.Config{TileX: 9, TileY: 3, TileZ: 8, ThreadsX: 3, ThreadsY: 3, ThreadsZ: 2,
+		SharedPerBlock: 4096, WinogradE: 0}
+	m := Measurement{Seconds: 1.5e-4, GFLOPS: 1234}
+	c.Put(arch.Name, Direct, s, cfg, m)
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d", c.Len())
+	}
+	got, gm, ok := c.Get(arch.Name, Direct, s)
+	if !ok || got != cfg || gm != m {
+		t.Fatalf("Get mismatch: %v %v %v", got, gm, ok)
+	}
+	// Different kind or shape must miss.
+	if _, _, ok := c.Get(arch.Name, Winograd, s); ok {
+		t.Error("kind collision")
+	}
+	other := s
+	other.Cout *= 2
+	if _, _, ok := c.Get(arch.Name, Direct, other); ok {
+		t.Error("shape collision")
+	}
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCache()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got2, gm2, ok := restored.Get(arch.Name, Direct, s)
+	if !ok || got2 != cfg || gm2 != m {
+		t.Fatalf("restored mismatch: %v %v %v", got2, gm2, ok)
+	}
+}
+
+func TestCacheSaveDeterministic(t *testing.T) {
+	c := NewCache()
+	s := layer()
+	c.Put("A", Direct, s, conv.Config{TileX: 1, TileY: 1, TileZ: 1, ThreadsX: 1, ThreadsY: 1, ThreadsZ: 1, SharedPerBlock: 256}, Measurement{Seconds: 1})
+	c.Put("B", Direct, s, conv.Config{TileX: 3, TileY: 1, TileZ: 1, ThreadsX: 1, ThreadsY: 1, ThreadsZ: 1, SharedPerBlock: 256}, Measurement{Seconds: 2})
+	var b1, b2 bytes.Buffer
+	if err := c.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("Save not deterministic")
+	}
+}
+
+func TestCacheLoadRejectsGarbage(t *testing.T) {
+	c := NewCache()
+	if err := c.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := c.Load(strings.NewReader(`[{"arch":"x","kind":"direct","shape":{"Batch":0}}]`)); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}
+
+func TestCacheFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tune.json")
+	c := NewCache()
+	s := layer()
+	c.Put(arch.Name, Winograd, s,
+		conv.Config{TileX: 4, TileY: 4, TileZ: 4, ThreadsX: 2, ThreadsY: 2, ThreadsZ: 2,
+			SharedPerBlock: 8192, WinogradE: 2},
+		Measurement{Seconds: 3e-4, GFLOPS: 777})
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r := NewCache()
+	if err := r.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("restored Len=%d", r.Len())
+	}
+	cfg, _, ok := r.Get(arch.Name, Winograd, s)
+	if !ok || cfg.WinogradE != 2 {
+		t.Fatalf("restored entry wrong: %v %v", cfg, ok)
+	}
+}
+
+func TestTuneCached(t *testing.T) {
+	c := NewCache()
+	sp := mustSpace(t, true)
+	measure := DirectMeasurer(arch, layer())
+	calls := 0
+	counting := func(cfg conv.Config) (Measurement, bool) {
+		calls++
+		return measure(cfg)
+	}
+	cfg1, m1, err := TuneCached(c, sp, counting, smallOpts(24, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("no measurements on cold cache")
+	}
+	callsAfterTune := calls
+	cfg2, m2, err := TuneCached(c, sp, counting, smallOpts(24, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != callsAfterTune {
+		t.Error("cache hit still measured")
+	}
+	if cfg1 != cfg2 || m1 != m2 {
+		t.Error("cache returned a different verdict")
+	}
+}
+
+func TestEmitSchedule(t *testing.T) {
+	s := layer()
+	cfg := conv.Config{TileX: 9, TileY: 9, TileZ: 8, ThreadsX: 3, ThreadsY: 3, ThreadsZ: 2,
+		SharedPerBlock: 4096}
+	out := EmitSchedule(Direct, s, cfg)
+	for _, want := range []string{"__shared__", "channel-sliding", "store out", "9x9x8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("direct schedule missing %q:\n%s", want, out)
+		}
+	}
+	wcfg := conv.Config{TileX: 8, TileY: 8, TileZ: 8, ThreadsX: 4, ThreadsY: 4, ThreadsZ: 4,
+		SharedPerBlock: 12288, WinogradE: 2}
+	wout := EmitSchedule(Winograd, s, wcfg)
+	for _, want := range []string{"Pi[", "B^T", "G . g . G^T", "A^T", "F(2x2,3x3)"} {
+		if !strings.Contains(wout, want) {
+			t.Errorf("winograd schedule missing %q:\n%s", want, wout)
+		}
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	sp := mustSpace(t, true)
+	measure := DirectMeasurer(arch, layer())
+	// Train a model from real measurements.
+	var feats [][]float64
+	var costs []float64
+	rngConfigs := 0
+	sp.enumerate(func(c conv.Config) bool {
+		if rngConfigs%7 == 0 {
+			if m, ok := measure(c); ok {
+				feats = append(feats, sp.Features(c))
+				costs = append(costs, m.Seconds)
+			}
+		}
+		rngConfigs++
+		return len(feats) < 150
+	})
+	if len(feats) < 20 {
+		t.Skip("too few measurable configs")
+	}
+	model := TrainGBT(DefaultGBTConfig(), feats, costs)
+	imp := model.FeatureImportance()
+	if len(imp) == 0 {
+		t.Fatal("no splits recorded")
+	}
+	total := 0
+	for _, i := range imp {
+		if i.Splits <= 0 {
+			t.Errorf("non-positive split count: %+v", i)
+		}
+		if i.Feature == "unknown" {
+			t.Errorf("unnamed feature in importance: %+v", i)
+		}
+		total += i.Splits
+	}
+	// Sorted descending.
+	for i := 1; i < len(imp); i++ {
+		if imp[i].Splits > imp[i-1].Splits {
+			t.Error("importance not sorted")
+		}
+	}
+	if len(FeatureNames) != NumFeatures {
+		t.Errorf("FeatureNames has %d entries, NumFeatures=%d", len(FeatureNames), NumFeatures)
+	}
+}

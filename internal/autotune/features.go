@@ -1,0 +1,63 @@
+package autotune
+
+import (
+	"math"
+
+	"repro/internal/conv"
+)
+
+// NumFeatures is the length of the cost-model feature vector.
+const NumFeatures = 14
+
+// Features encodes a configuration for the cost model. The encoding mixes
+// raw axes (log-scaled sizes), derived quantities the time model responds to
+// (tile volume, thread count, blocks, shared pressure), and the optimality
+// gap |xy − Rz|/(xy + Rz), which lets the model learn the paper's condition.
+func (sp *Space) Features(c conv.Config) []float64 {
+	s := sp.Shape
+	r := s.R()
+	if sp.Kind == Winograd {
+		r = float64(s.Hker * s.Hker)
+	}
+	vol := float64(c.TileX * c.TileY * c.TileZ)
+	blocksX := math.Ceil(float64(s.Wout()) / float64(c.TileX))
+	blocksY := math.Ceil(float64(s.Hout()) / float64(c.TileY))
+	blocksZ := math.Ceil(float64(s.Cout) / float64(c.TileZ))
+	blocks := blocksX * blocksY * blocksZ * float64(s.Batch)
+	var need int
+	if sp.Kind == Winograd {
+		need = conv.WinogradSharedNeed(s, c)
+	} else {
+		need = conv.DirectSharedNeed(s, c)
+	}
+	return []float64{
+		log2(float64(c.TileX)),
+		log2(float64(c.TileY)),
+		log2(float64(c.TileZ)),
+		log2(vol),
+		log2(float64(c.ThreadsX * c.ThreadsY * c.ThreadsZ)),
+		log2(float64(c.SharedPerBlock)),
+		log2(blocks),
+		c.Tile().OptimalityGap(r),
+		float64(need) / float64(c.SharedPerBlock),
+		log2(float64(c.TileX*c.TileY) + 1),
+		float64(c.Layout),
+		boolToF(c.ThreadsX*c.ThreadsY*c.ThreadsZ >= 32),
+		log2(float64(c.TileZ)*r + 1),
+		vol / float64(c.SharedPerBlock),
+	}
+}
+
+func log2(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log2(v)
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package autotune
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the learned cost model: gradient-boosted regression
+// trees with squared loss, the same model family (XGBoost) the paper's
+// engine and TVM both use. Stdlib only, built from scratch.
+
+// GBTConfig holds the boosting hyperparameters.
+type GBTConfig struct {
+	Trees        int     // number of boosting rounds
+	MaxDepth     int     // tree depth limit
+	MinSamples   int     // minimum samples to split a node
+	LearningRate float64 // shrinkage
+	Thresholds   int     // candidate split thresholds per feature
+}
+
+// DefaultGBTConfig mirrors common XGBoost-for-autotuning settings.
+func DefaultGBTConfig() GBTConfig {
+	return GBTConfig{Trees: 60, MaxDepth: 4, MinSamples: 4, LearningRate: 0.3, Thresholds: 16}
+}
+
+// GBTModel is a fitted gradient-boosted tree ensemble predicting a scalar
+// cost (the tuner trains it on log simulated runtime).
+type GBTModel struct {
+	cfg   GBTConfig
+	base  float64
+	trees []*treeNode
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64
+	leaf      bool
+}
+
+// TrainGBT fits the ensemble on (x, y). It panics on empty or ragged input.
+func TrainGBT(cfg GBTConfig, x [][]float64, y []float64) *GBTModel {
+	if len(x) == 0 || len(x) != len(y) {
+		panic("autotune: bad training set")
+	}
+	m := &GBTModel{cfg: cfg}
+	m.base = mean(y)
+	resid := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = m.base
+	}
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tree := buildTree(cfg, x, resid, idx, 0)
+		m.trees = append(m.trees, tree)
+		for i := range pred {
+			pred[i] += cfg.LearningRate * tree.predict(x[i])
+		}
+	}
+	return m
+}
+
+// Predict returns the modeled cost for one feature vector.
+func (m *GBTModel) Predict(features []float64) float64 {
+	out := m.base
+	for _, t := range m.trees {
+		out += m.cfg.LearningRate * t.predict(features)
+	}
+	return out
+}
+
+func (n *treeNode) predict(f []float64) float64 {
+	for !n.leaf {
+		if f[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// buildTree grows one regression tree on the residuals of the rows in idx.
+func buildTree(cfg GBTConfig, x [][]float64, resid []float64, idx []int, depth int) *treeNode {
+	if depth >= cfg.MaxDepth || len(idx) < cfg.MinSamples {
+		return &treeNode{leaf: true, value: meanAt(resid, idx)}
+	}
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	total, totalSq := sums(resid, idx)
+	baseSSE := totalSq - total*total/float64(len(idx))
+
+	nf := len(x[idx[0]])
+	vals := make([]float64, 0, len(idx))
+	for f := 0; f < nf; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, x[i][f])
+		}
+		for _, thr := range candidateThresholds(vals, cfg.Thresholds) {
+			var lSum, lSq, lN float64
+			for _, i := range idx {
+				if x[i][f] <= thr {
+					lSum += resid[i]
+					lSq += resid[i] * resid[i]
+					lN++
+				}
+			}
+			rN := float64(len(idx)) - lN
+			if lN < 1 || rN < 1 {
+				continue
+			}
+			rSum := total - lSum
+			rSq := totalSq - lSq
+			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
+			if gain := baseSSE - sse; gain > bestGain+1e-12 {
+				bestFeat, bestThr, bestGain = f, thr, gain
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{leaf: true, value: meanAt(resid, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      buildTree(cfg, x, resid, left, depth+1),
+		right:     buildTree(cfg, x, resid, right, depth+1),
+	}
+}
+
+// candidateThresholds returns up to k midpoints between distinct sorted
+// values.
+func candidateThresholds(vals []float64, k int) []float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) < 2 {
+		return nil
+	}
+	cuts := len(uniq) - 1
+	step := 1
+	if cuts > k {
+		step = cuts / k
+	}
+	var out []float64
+	for i := 0; i < cuts; i += step {
+		out = append(out, (uniq[i]+uniq[i+1])/2)
+	}
+	return out
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func meanAt(v []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += v[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sums(v []float64, idx []int) (sum, sumSq float64) {
+	for _, i := range idx {
+		sum += v[i]
+		sumSq += v[i] * v[i]
+	}
+	return sum, sumSq
+}
+
+// RMSE is a convenience for model-quality tests.
+func (m *GBTModel) RMSE(x [][]float64, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := m.Predict(x[i]) - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)))
+}

@@ -1,0 +1,402 @@
+// Package autotune implements the paper's auto-tuning engine (Section 6):
+// a configuration search space built from Table 1 — optionally pruned by the
+// I/O optimality condition x·y = R·z — a gradient-boosted-tree cost model
+// trained online from measurements, and a configuration explorer running
+// parallel model-guided random walks. Simulated annealing, genetic and
+// random searchers over the unpruned space stand in for TVM's tuners, as in
+// Figure 11 and Table 2.
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/conv"
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+// Kind selects which dataflow template a space tunes.
+type Kind uint8
+
+const (
+	// Direct tunes the Section 5.2 direct-convolution dataflow.
+	Direct Kind = iota
+	// Winograd tunes the Section 5.3 fused Winograd dataflow.
+	Winograd
+)
+
+func (k Kind) String() string {
+	if k == Winograd {
+		return "winograd"
+	}
+	return "direct"
+}
+
+// Space is the configuration space of Table 1 for one layer on one
+// architecture. Axes: output tile x, y, z (factors of the output dims),
+// thread counts (factors of the tile dims), shared memory per block
+// (power-of-two fractions of the SM), and layout. With Pruned, the paper's
+// searching domain constraints are applied: x·y·z ≤ Sb together with
+// z ≤ sqrt(Sb/R) and x·y ≤ sqrt(Sb·R) (the optimality condition), plus the
+// template's shared-memory fit.
+type Space struct {
+	Shape shapes.ConvShape
+	Arch  memsim.Arch
+	Kind  Kind
+	// E is the default Winograd output tile edge (ignored for Direct); the
+	// space explores Es.
+	E int
+	// Pruned enables the optimality-condition searching domain.
+	Pruned bool
+
+	// es lists the Winograd output-tile-edge choices (just {0} for Direct).
+	es      []int
+	xsByE   map[int][]int
+	ysByE   map[int][]int
+	zs      []int
+	sbs     []int
+	layouts []tensor.Layout
+}
+
+// NewSpace builds the space for a layer. For Winograd spaces the spatial
+// tile axes keep only multiples of E.
+func NewSpace(s shapes.ConvShape, arch memsim.Arch, kind Kind, e int, pruned bool) (*Space, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if kind == Winograd {
+		if !s.WinogradOK() {
+			return nil, fmt.Errorf("autotune: %v does not admit Winograd", s)
+		}
+		if e < 2 {
+			return nil, fmt.Errorf("autotune: winograd e=%d < 2", e)
+		}
+	}
+	sp := &Space{Shape: s, Arch: arch, Kind: kind, E: e, Pruned: pruned, layouts: tensor.Layouts}
+	sp.xsByE = make(map[int][]int)
+	sp.ysByE = make(map[int][]int)
+	if kind == Winograd {
+		// The Winograd output tile edge e is itself a tunable (the paper:
+		// "in practice e usually is chosen as 2, 3 or 4"). Tiles are whole
+		// sub-tile grids: e times a factor of the rounded-up grid dimension,
+		// so odd output sizes (e.g. 13×13) still have tile choices; the
+		// kernel clips the partial edge sub-tiles.
+		for _, ee := range []int{2, 4} {
+			sp.es = append(sp.es, ee)
+			sp.xsByE[ee] = scaleAll(factors((s.Wout()+ee-1)/ee), ee)
+			sp.ysByE[ee] = scaleAll(factors((s.Hout()+ee-1)/ee), ee)
+		}
+	} else {
+		sp.es = []int{0}
+		sp.xsByE[0] = factors(s.Wout())
+		sp.ysByE[0] = factors(s.Hout())
+	}
+	sp.zs = factors(s.Cout)
+	for sb := arch.MaxSharedPerBlock(); sb >= 256; sb /= 2 {
+		sp.sbs = append(sp.sbs, sb)
+	}
+	return sp, nil
+}
+
+// admissible reports whether a full config belongs to the space, applying
+// the Table 1 constraints (and the pruned searching-domain constraints when
+// enabled).
+func (sp *Space) admissible(c conv.Config) bool {
+	if c.Threads() > 1024 {
+		return false
+	}
+	vol := c.TileX * c.TileY * c.TileZ
+	if vol > c.SharedPerBlock {
+		return false
+	}
+	if !sp.Pruned {
+		return true
+	}
+	r := sp.Shape.R()
+	if sp.Kind == Winograd {
+		r = float64(sp.Shape.Hker * sp.Shape.Hker)
+	}
+	sb := float64(c.SharedPerBlock)
+	if float64(c.TileZ) > math.Sqrt(sb/r)+1e-9 {
+		return false
+	}
+	if float64(c.TileX*c.TileY) > math.Sqrt(sb*r)+1e-9 {
+		return false
+	}
+	// The staged tiles must actually fit the shared allocation.
+	switch sp.Kind {
+	case Direct:
+		return conv.DirectSharedNeed(sp.Shape, c) <= c.SharedPerBlock
+	case Winograd:
+		return conv.WinogradSharedNeed(sp.Shape, c) <= c.SharedPerBlock
+	}
+	return true
+}
+
+// Size counts the admissible configurations by enumeration.
+func (sp *Space) Size() int64 {
+	var n int64
+	sp.enumerate(func(conv.Config) bool { n++; return true })
+	return n
+}
+
+// enumerate visits every admissible config; the visitor returns false to
+// stop early.
+func (sp *Space) enumerate(visit func(conv.Config) bool) {
+	for _, e := range sp.es {
+		for _, x := range sp.xsByE[e] {
+			for _, y := range sp.ysByE[e] {
+				for _, z := range sp.zs {
+					for _, sb := range sp.sbs {
+						for _, lay := range sp.layouts {
+							base := conv.Config{TileX: x, TileY: y, TileZ: z,
+								SharedPerBlock: sb, Layout: lay, WinogradE: e}
+							for _, tx := range factors(x) {
+								for _, ty := range factors(y) {
+									for _, tz := range factors(z) {
+										c := base
+										c.ThreadsX, c.ThreadsY, c.ThreadsZ = tx, ty, tz
+										if sp.admissible(c) {
+											if !visit(c) {
+												return
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Sample draws a uniform-ish random admissible config (rejection sampling
+// over the axes; falls back to enumeration if rejection keeps missing).
+func (sp *Space) Sample(rng *rand.Rand) conv.Config {
+	for attempt := 0; attempt < 256; attempt++ {
+		c := sp.randomConfig(rng)
+		if sp.admissible(c) {
+			return c
+		}
+	}
+	// Dense fallback: reservoir-sample the enumeration.
+	var chosen conv.Config
+	n := 0
+	sp.enumerate(func(c conv.Config) bool {
+		n++
+		if rng.Intn(n) == 0 {
+			chosen = c
+		}
+		return true
+	})
+	if n == 0 {
+		panic(fmt.Sprintf("autotune: empty search space for %v", sp.Shape))
+	}
+	return chosen
+}
+
+func (sp *Space) randomConfig(rng *rand.Rand) conv.Config {
+	e := sp.es[rng.Intn(len(sp.es))]
+	xs, ys := sp.xsByE[e], sp.ysByE[e]
+	x := xs[rng.Intn(len(xs))]
+	y := ys[rng.Intn(len(ys))]
+	z := sp.zs[rng.Intn(len(sp.zs))]
+	fx, fy, fz := factors(x), factors(y), factors(z)
+	return conv.Config{
+		TileX: x, TileY: y, TileZ: z,
+		ThreadsX: fx[rng.Intn(len(fx))], ThreadsY: fy[rng.Intn(len(fy))], ThreadsZ: fz[rng.Intn(len(fz))],
+		SharedPerBlock: sp.sbs[rng.Intn(len(sp.sbs))],
+		Layout:         sp.layouts[rng.Intn(len(sp.layouts))],
+		WinogradE:      e,
+	}
+}
+
+// Neighbor mutates one axis of a config to an adjacent admissible choice —
+// the random-walk step of the configuration explorer.
+func (sp *Space) Neighbor(c conv.Config, rng *rand.Rand) conv.Config {
+	for attempt := 0; attempt < 64; attempt++ {
+		n := c
+		moves := 8
+		if len(sp.es) > 1 {
+			moves = 9
+		}
+		switch rng.Intn(moves) {
+		case 0:
+			n.TileX = adjacent(sp.xsByE[n.WinogradE], n.TileX, rng)
+			n.ThreadsX = clampFactor(n.ThreadsX, n.TileX)
+		case 1:
+			n.TileY = adjacent(sp.ysByE[n.WinogradE], n.TileY, rng)
+			n.ThreadsY = clampFactor(n.ThreadsY, n.TileY)
+		case 2:
+			n.TileZ = adjacent(sp.zs, n.TileZ, rng)
+			n.ThreadsZ = clampFactor(n.ThreadsZ, n.TileZ)
+		case 3:
+			n.ThreadsX = adjacent(factors(n.TileX), n.ThreadsX, rng)
+		case 4:
+			n.ThreadsY = adjacent(factors(n.TileY), n.ThreadsY, rng)
+		case 5:
+			n.ThreadsZ = adjacent(factors(n.TileZ), n.ThreadsZ, rng)
+		case 6:
+			n.SharedPerBlock = adjacent(sp.sbs, n.SharedPerBlock, rng)
+		case 7:
+			n.Layout = sp.layouts[rng.Intn(len(sp.layouts))]
+		case 8:
+			// Switch the Winograd tile edge, snapping the spatial tiles to
+			// the new grid.
+			n.WinogradE = adjacent(sp.es, n.WinogradE, rng)
+			n.TileX = nearest(sp.xsByE[n.WinogradE], n.TileX)
+			n.TileY = nearest(sp.ysByE[n.WinogradE], n.TileY)
+			n.ThreadsX = clampFactor(n.ThreadsX, n.TileX)
+			n.ThreadsY = clampFactor(n.ThreadsY, n.TileY)
+		}
+		if n != c && sp.admissible(n) {
+			return n
+		}
+	}
+	return c
+}
+
+// SeedConfigs returns the coarse-grained Section 5 dataflow designs snapped
+// into this space's axes — the starting points of the paper's engine (the
+// fine-grained tuner refines the dataflow design, it does not replace it).
+func (sp *Space) SeedConfigs() []conv.Config {
+	var seeds []conv.Config
+	for _, e := range sp.es {
+		var def conv.Config
+		if sp.Kind == Winograd {
+			def = conv.DefaultWinogradConfig(sp.Arch, sp.Shape, e)
+		} else {
+			def = conv.DefaultDirectConfig(sp.Arch, sp.Shape)
+		}
+		def.WinogradE = e
+		if snapped, ok := sp.snap(def); ok {
+			seeds = append(seeds, snapped)
+		}
+	}
+	return seeds
+}
+
+// snap moves a config onto the space's axes, shrinking the channel tile
+// until it is admissible. ok is false if no admissible snap exists.
+func (sp *Space) snap(c conv.Config) (conv.Config, bool) {
+	c.TileX = nearest(sp.xsByE[c.WinogradE], c.TileX)
+	c.TileY = nearest(sp.ysByE[c.WinogradE], c.TileY)
+	c.TileZ = nearest(sp.zs, c.TileZ)
+	c.SharedPerBlock = nearest(sp.sbs, c.SharedPerBlock)
+	c.ThreadsX = clampFactor(c.ThreadsX, c.TileX)
+	c.ThreadsY = clampFactor(c.ThreadsY, c.TileY)
+	c.ThreadsZ = clampFactor(c.ThreadsZ, c.TileZ)
+	for i := 0; i < 32; i++ {
+		if sp.admissible(c) {
+			return c, true
+		}
+		// Shrink the largest tile axis and retry.
+		switch {
+		case c.TileZ > sp.zs[0] && c.TileZ >= c.TileX*c.TileY:
+			c.TileZ = below(sp.zs, c.TileZ)
+			c.ThreadsZ = clampFactor(c.ThreadsZ, c.TileZ)
+		case c.TileX >= c.TileY:
+			c.TileX = below(sp.xsByE[c.WinogradE], c.TileX)
+			c.ThreadsX = clampFactor(c.ThreadsX, c.TileX)
+		default:
+			c.TileY = below(sp.ysByE[c.WinogradE], c.TileY)
+			c.ThreadsY = clampFactor(c.ThreadsY, c.TileY)
+		}
+	}
+	return c, sp.admissible(c)
+}
+
+// below returns the largest value in vals strictly below v, or the smallest
+// value if none is.
+func below(vals []int, v int) int {
+	best, found := 0, false
+	smallest := vals[0]
+	for _, x := range vals {
+		if x < smallest {
+			smallest = x
+		}
+		if x < v && (!found || x > best) {
+			best, found = x, true
+		}
+	}
+	if !found {
+		return smallest
+	}
+	return best
+}
+
+// nearest returns the value of vals closest to v.
+func nearest(vals []int, v int) int {
+	best, bestD := vals[0], 1<<62
+	for _, x := range vals {
+		d := x - v
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = x, d
+		}
+	}
+	return best
+}
+
+// adjacent picks the previous or next value of v in vals (which need not be
+// sorted; position is by identity).
+func adjacent(vals []int, v int, rng *rand.Rand) int {
+	idx := 0
+	for i, x := range vals {
+		if x == v {
+			idx = i
+			break
+		}
+	}
+	delta := 1
+	if rng.Intn(2) == 0 {
+		delta = -1
+	}
+	idx += delta
+	if idx < 0 {
+		idx = len(vals) - 1
+	}
+	if idx >= len(vals) {
+		idx = 0
+	}
+	return vals[idx]
+}
+
+func clampFactor(t, tile int) int {
+	if t <= tile && tile%t == 0 {
+		return t
+	}
+	fs := factors(tile)
+	best := fs[0]
+	for _, f := range fs {
+		if f <= t {
+			best = f
+		}
+	}
+	return best
+}
+
+func factors(n int) []int {
+	var fs []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			fs = append(fs, d)
+		}
+	}
+	return fs
+}
+
+func scaleAll(vals []int, e int) []int {
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		out[i] = v * e
+	}
+	return out
+}

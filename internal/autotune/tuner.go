@@ -1,0 +1,239 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/conv"
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+)
+
+// Measurement is the outcome of measuring one configuration on the
+// simulated hardware (the template manager's job in Figure 8).
+type Measurement struct {
+	Seconds float64
+	GFLOPS  float64
+}
+
+// Measurer runs one configuration and reports its cost; ok is false for
+// configurations that fail to build or exceed resources (TVM's "timeout"
+// measurements).
+type Measurer func(conv.Config) (Measurement, bool)
+
+// DirectMeasurer measures configs with the Section 5.2 dataflow on arch
+// (dry: exact counts, no data).
+func DirectMeasurer(arch memsim.Arch, s shapes.ConvShape) Measurer {
+	return func(c conv.Config) (Measurement, bool) {
+		res, err := conv.DirectTiledDry(arch, s, c)
+		if err != nil || math.IsInf(res.Seconds, 1) {
+			return Measurement{}, false
+		}
+		return Measurement{Seconds: res.Seconds, GFLOPS: res.GFLOPS}, true
+	}
+}
+
+// WinogradMeasurer measures configs with the Section 5.3 fused Winograd
+// dataflow on arch.
+func WinogradMeasurer(arch memsim.Arch, s shapes.ConvShape) Measurer {
+	return func(c conv.Config) (Measurement, bool) {
+		res, err := conv.WinogradFusedDry(arch, s, c)
+		if err != nil || math.IsInf(res.Seconds, 1) {
+			return Measurement{}, false
+		}
+		return Measurement{Seconds: res.Seconds, GFLOPS: res.GFLOPS}, true
+	}
+}
+
+// Options controls a tuning run.
+type Options struct {
+	// Budget is the maximum number of measurements.
+	Budget int
+	// BatchSize is how many configurations are measured per iteration
+	// (between cost-model refits).
+	BatchSize int
+	// Walkers is n_s, the number of parallel random walks of the explorer.
+	Walkers int
+	// WalkSteps is how many model-guided steps each walker takes per
+	// iteration.
+	WalkSteps int
+	// Patience stops the run after this many measurements without
+	// improvement (0 disables).
+	Patience int
+	// Seed makes runs deterministic.
+	Seed int64
+	// NoSeeds disables the Section-5 dataflow-design starting
+	// configurations. The TVM-proxy runs use this: an external tuner has no
+	// knowledge of the paper's optimality condition.
+	NoSeeds bool
+}
+
+// DefaultOptions are sensible mid-size tuning settings.
+func DefaultOptions() Options {
+	return Options{Budget: 400, BatchSize: 8, Walkers: 8, WalkSteps: 24, Patience: 120, Seed: 1}
+}
+
+func (o Options) normalized() Options {
+	if o.Budget < 1 {
+		o.Budget = 1
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 1
+	}
+	if o.Walkers < 1 {
+		o.Walkers = 1
+	}
+	if o.WalkSteps < 1 {
+		o.WalkSteps = 1
+	}
+	return o
+}
+
+// Trace records a tuning run: the best configuration found and the
+// best-so-far curve per measurement (Figure 11's series).
+type Trace struct {
+	Method       string
+	Best         conv.Config
+	BestM        Measurement
+	Curve        []float64 // best GFLOPS after each measurement
+	Measurements int
+	// ConvergedAt is the measurement index (1-based) of the last
+	// improvement — the paper's "iterations" column in Table 2.
+	ConvergedAt int
+}
+
+// record is the shared bookkeeping of all strategies.
+type record struct {
+	trace Trace
+	found bool
+}
+
+func (r *record) add(c conv.Config, m Measurement, ok bool) {
+	r.trace.Measurements++
+	if ok && (!r.found || m.Seconds < r.trace.BestM.Seconds) {
+		r.found = true
+		r.trace.Best = c
+		r.trace.BestM = m
+		r.trace.ConvergedAt = r.trace.Measurements
+	}
+	r.trace.Curve = append(r.trace.Curve, r.trace.BestM.GFLOPS)
+}
+
+func (r *record) stale(patience int) bool {
+	return patience > 0 && r.found && r.trace.Measurements-r.trace.ConvergedAt >= patience
+}
+
+// Tune runs the paper's auto-tuning engine (Figure 8): iterate
+// {train cost model on all measurements so far; explore with n_s parallel
+// model-guided random walks from the current best configurations; measure
+// the proposals; update the dataset} until the budget or patience is
+// exhausted.
+func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
+	opts = opts.normalized()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rec := &record{trace: Trace{Method: "ate"}}
+
+	var feats [][]float64
+	var costs []float64
+	seen := make(map[conv.Config]bool)
+	// topK holds the best measured configs (by real cost); they re-seed the
+	// walkers each iteration — the paper's "promising configurations are
+	// saved as the initial guesses for the next searching step".
+	type scored struct {
+		cfg  conv.Config
+		cost float64
+	}
+	var topK []scored
+
+	measureOne := func(c conv.Config) {
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		m, ok := measure(c)
+		rec.add(c, m, ok)
+		cost := 20.0 // a large log-cost for failed configs
+		if ok {
+			cost = math.Log(m.Seconds)
+			topK = append(topK, scored{c, m.Seconds})
+			sort.Slice(topK, func(i, j int) bool { return topK[i].cost < topK[j].cost })
+			if len(topK) > opts.Walkers {
+				topK = topK[:opts.Walkers]
+			}
+		}
+		feats = append(feats, sp.Features(c))
+		costs = append(costs, cost)
+	}
+
+	// The coarse-grained Section 5 dataflow designs are the first
+	// measurements — the engine refines them, as in the paper — followed by
+	// random guesses that seed the walkers and the model.
+	if !opts.NoSeeds {
+		for _, c := range sp.SeedConfigs() {
+			if rec.trace.Measurements < opts.Budget {
+				measureOne(c)
+			}
+		}
+	}
+	initRandom := 3 * opts.Walkers
+	if b := opts.Budget / 4; b < initRandom {
+		initRandom = b
+	}
+	for i := 0; i < initRandom && rec.trace.Measurements < opts.Budget; i++ {
+		measureOne(sp.Sample(rng))
+	}
+
+	for rec.trace.Measurements < opts.Budget && !rec.stale(opts.Patience) {
+		model := TrainGBT(DefaultGBTConfig(), feats, costs)
+		// Build a candidate pool: every unseen config visited by the n_s
+		// parallel random walks (started from the best measured configs),
+		// plus fresh random samples for diversity.
+		pool := make(map[conv.Config]bool)
+		for i := 0; i < opts.Walkers; i++ {
+			start := sp.Sample(rng)
+			if i < len(topK) {
+				start = topK[i].cfg
+			}
+			cur := start
+			curCost := model.Predict(sp.Features(cur))
+			for step := 0; step < opts.WalkSteps; step++ {
+				next := sp.Neighbor(cur, rng)
+				nextCost := model.Predict(sp.Features(next))
+				if nextCost < curCost || rng.Float64() < 0.1 {
+					cur, curCost = next, nextCost
+				}
+				if !seen[cur] {
+					pool[cur] = true
+				}
+			}
+		}
+		for i := 0; i < 4*opts.BatchSize; i++ {
+			if c := sp.Sample(rng); !seen[c] {
+				pool[c] = true
+			}
+		}
+		if len(pool) == 0 {
+			break // space exhausted
+		}
+		// Rank the pool by predicted cost and measure the most promising.
+		ranked := make([]scored, 0, len(pool))
+		for c := range pool {
+			ranked = append(ranked, scored{c, model.Predict(sp.Features(c))})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].cost != ranked[j].cost {
+				return ranked[i].cost < ranked[j].cost
+			}
+			return ranked[i].cfg.String() < ranked[j].cfg.String() // determinism
+		})
+		for i := 0; i < len(ranked) && i < opts.BatchSize && rec.trace.Measurements < opts.Budget; i++ {
+			measureOne(ranked[i].cfg)
+		}
+	}
+	if !rec.found {
+		return nil, fmt.Errorf("autotune: no valid configuration found in %d measurements", rec.trace.Measurements)
+	}
+	return &rec.trace, nil
+}

@@ -1,0 +1,245 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shapes"
+)
+
+func layer() shapes.ConvShape {
+	return shapes.ConvShape{Batch: 1, Cin: 256, Hin: 56, Win: 56, Cout: 128, Hker: 3, Wker: 3, Strid: 1}
+}
+
+func TestTEngineSimple(t *testing.T) {
+	// One step with φ(k)=k, ψ(k)=0: T(S) = S + S = 2S.
+	steps := []Step{{Phi: func(k float64) float64 { return k }, Psi: func(k float64) float64 { return 0 }}}
+	if got := T(steps, 10); got != 20 {
+		t.Errorf("T=%v want 20", got)
+	}
+	// Two steps, φ1(k)=k, ψ1(k)=2k, φ2(k)=k: give all budget to step 1:
+	// T(S) = S + max_{k1+k2<=S} [k1 + (k2 + 2k1)] = S + 3S = 4S at k1=S.
+	steps = []Step{
+		{Phi: func(k float64) float64 { return k }, Psi: func(k float64) float64 { return 2 * k }},
+		{Phi: func(k float64) float64 { return k }, Psi: func(k float64) float64 { return 0 }},
+	}
+	if got := T(steps, 10); got != 40 {
+		t.Errorf("T=%v want 40", got)
+	}
+}
+
+func TestTEngineEmptyAndZero(t *testing.T) {
+	if got := T(nil, 5); got != 5 {
+		t.Errorf("T(nil)=%v want 5", got)
+	}
+	steps := []Step{{Phi: func(k float64) float64 { return k }, Psi: func(k float64) float64 { return 0 }}}
+	if got := T(steps, 0); got != 0 {
+		t.Errorf("T(S=0)=%v want 0", got)
+	}
+}
+
+func TestTGranularApproximatesT(t *testing.T) {
+	steps := DirectSteps(layer(), 64)
+	exact := T(steps, 64)
+	approx := TGranular(steps, 64, 8)
+	if approx > exact {
+		t.Errorf("granular %v exceeded exact %v", approx, exact)
+	}
+	if approx < 0.8*exact {
+		t.Errorf("granular %v too far below exact %v", approx, exact)
+	}
+}
+
+// The engine's exact maximization must never exceed the closed-form upper
+// bound of Lemma 4.11.
+func TestDirectEngineWithinClosedForm(t *testing.T) {
+	s := layer()
+	for _, S := range []int{8, 32, 128} {
+		engine := T(DirectSteps(s, S), S)
+		closed := DirectTClosed(s, S)
+		if engine > closed+1e-6 {
+			t.Errorf("S=%d: engine T=%v above closed form %v", S, engine, closed)
+		}
+	}
+}
+
+// Consequently the engine lower bound is at least the closed-form bound.
+func TestDirectEngineBoundTighter(t *testing.T) {
+	s := layer()
+	for _, S := range []int{16, 64, 256} {
+		if eng, cl := DirectLowerBoundEngine(s, S), DirectLowerBound(s, S); eng < cl-1e-6 {
+			t.Errorf("S=%d: engine bound %v below closed-form bound %v", S, eng, cl)
+		}
+	}
+}
+
+// Lemma 4.19 is an O(·) statement: the engine's exact maximum must agree
+// with the closed form up to a bounded constant and share its S^{3/2}+S
+// growth.
+func TestWinogradEngineTracksClosedForm(t *testing.T) {
+	s := layer()
+	for _, S := range []int{32, 128} {
+		engine := T(WinogradSteps(s, 2, S), S)
+		closed := WinogradTClosed(s, 2, S)
+		if ratio := engine / closed; ratio < 0.25 || ratio > 8 {
+			t.Errorf("S=%d: engine T=%v vs closed form %v (ratio %v outside O(1))", S, engine, closed, ratio)
+		}
+	}
+	// Growth between S and 4S must stay between linear (4x) and the
+	// closed form's S^{3/2} regime (8x).
+	g := T(WinogradSteps(s, 2, 128), 128) / T(WinogradSteps(s, 2, 32), 32)
+	if g < 3.5 || g > 8.5 {
+		t.Errorf("engine growth T(128)/T(32)=%v outside [3.5, 8.5]", g)
+	}
+}
+
+func TestLowerBoundsPositiveAndMonotone(t *testing.T) {
+	s := layer()
+	// Bounds decrease in S (more fast memory -> less required I/O).
+	prevD, prevW := math.Inf(1), math.Inf(1)
+	for _, S := range []int{64, 256, 1024, 4096} {
+		d := DirectLowerBound(s, S)
+		w := WinogradLowerBound(s, 2, S)
+		if d <= 0 || w <= 0 {
+			t.Fatalf("S=%d: nonpositive bound d=%v w=%v", S, d, w)
+		}
+		if d > prevD || w > prevW {
+			t.Errorf("S=%d: bound increased with memory: d=%v (prev %v), w=%v (prev %v)", S, d, prevD, w, prevW)
+		}
+		prevD, prevW = d, w
+	}
+}
+
+func TestLeadingTermsTrackExactBounds(t *testing.T) {
+	s := layer()
+	for _, S := range []int{256, 1024} {
+		exact := DirectLowerBound(s, S)
+		lead := DirectLowerBoundLeading(s, S)
+		if ratio := exact / lead; ratio < 0.2 || ratio > 2 {
+			t.Errorf("direct S=%d: exact/leading=%v out of range", S, ratio)
+		}
+	}
+}
+
+// Any legal dataflow must move at least the lower bound; in particular the
+// paper's own dataflow I/O model at the optimum must sit above the bound.
+func TestDataflowAboveLowerBound(t *testing.T) {
+	s := layer()
+	for _, S := range []int{1024, 4096, 16384} {
+		lb := DirectLowerBound(s, S)
+		df := DirectDataflowIOOptimal(s, S, 1)
+		if df < lb {
+			t.Errorf("S=%d: direct dataflow I/O %v below lower bound %v", S, df, lb)
+		}
+		lbw := WinogradLowerBound(s, 2, S)
+		dfw := WinogradDataflowIOOptimal(s, 2, S, 1)
+		if dfw < lbw {
+			t.Errorf("S=%d: winograd dataflow I/O %v below lower bound %v", S, dfw, lbw)
+		}
+	}
+}
+
+// The paper's near-optimality claim: for Np=1 and Hker·Wker·Cin/sqrt(SR) ≫ 1
+// the dataflow is within a small constant of the bound's leading term.
+func TestDirectDataflowNearOptimal(t *testing.T) {
+	s := layer()
+	S := 4096
+	df := DirectDataflowIOOptimal(s, S, 1)
+	lead := DirectLowerBoundLeading(s, S)
+	ratio := df / lead
+	if ratio < 1 || ratio > 16 {
+		t.Errorf("dataflow/leading-bound ratio %v not a small constant", ratio)
+	}
+}
+
+// Equation 20's minimization: among tiles of equal volume, the one satisfying
+// xy = Rz has the lowest modeled I/O.
+func TestOptimalityConditionMinimizesIO(t *testing.T) {
+	s := layer()
+	// R = 9. Tile volume 144: (36,4) wait—use x*y and z with xyz fixed.
+	// Candidates with volume 576: xy=144,z=4 violates; xy=72,z=8 violates;
+	// xy=36·... pick (x,y,z): optimal (12,12,16/...): R·z = xy -> z = xy/9.
+	opt := Tile{X: 12, Y: 12, Z: 16}   // xy=144, Rz=144: satisfies
+	worse1 := Tile{X: 24, Y: 24, Z: 4} // xy=576, Rz=36
+	worse2 := Tile{X: 4, Y: 4, Z: 144} // xy=16, Rz=1296
+	if opt.Volume() != worse1.Volume() || opt.Volume() != worse2.Volume() {
+		t.Fatal("test tiles must have equal volume")
+	}
+	qo := DirectDataflowIO(s, opt)
+	if q1 := DirectDataflowIO(s, worse1); q1 <= qo {
+		t.Errorf("output-heavy tile %v (Q=%v) not worse than optimal %v (Q=%v)", worse1, q1, opt, qo)
+	}
+	if q2 := DirectDataflowIO(s, worse2); q2 <= qo {
+		t.Errorf("channel-heavy tile %v (Q=%v) not worse than optimal %v (Q=%v)", worse2, q2, opt, qo)
+	}
+	if !opt.SatisfiesOptimality(s.R(), 1e-9) {
+		t.Error("optimal tile fails its own condition")
+	}
+	if worse1.SatisfiesOptimality(s.R(), 0.1) {
+		t.Error("bad tile passes the condition")
+	}
+}
+
+func TestOptimalTileDirect(t *testing.T) {
+	s := layer()
+	tile := OptimalTileDirect(s, 4096, 1)
+	if tile.X < 1 || tile.Y < 1 || tile.Z < 1 {
+		t.Fatalf("degenerate tile %+v", tile)
+	}
+	if gap := tile.OptimalityGap(s.R()); gap > 0.25 {
+		t.Errorf("rounded optimal tile %+v has gap %v", tile, gap)
+	}
+	// Volume should be near the budget.
+	if v := tile.Volume(); v < 4096/4 || v > 4096*2 {
+		t.Errorf("tile volume %d far from budget 4096", v)
+	}
+}
+
+func TestOptimalTileWinograd(t *testing.T) {
+	s := layer()
+	tile := OptimalTileWinograd(s, 2, 8192, 1)
+	if tile.X < 1 || tile.Y < 1 || tile.Z < 1 {
+		t.Fatalf("degenerate tile %+v", tile)
+	}
+	r2 := float64(s.Hker * s.Hker)
+	if gap := tile.OptimalityGap(r2); gap > 0.3 {
+		t.Errorf("winograd tile %+v gap %v vs xy=r²z", tile, gap)
+	}
+}
+
+// Property: the exact-halo I/O model always dominates the paper's
+// approximation for stride-1 convs (the halo only adds reads).
+func TestExactHaloDominatesModel(t *testing.T) {
+	s := layer()
+	f := func(xi, yi, zi uint8) bool {
+		tile := Tile{X: int(xi%16) + 1, Y: int(yi%16) + 1, Z: int(zi%16) + 1}
+		return DirectDataflowIOExact(s, tile) >= DirectDataflowIO(s, tile)-1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: more processors sharing the same on-chip budget means smaller
+// per-block tiles and thus more I/O (Equation 21 grows with sqrt(Np)).
+func TestParallelIOMonotoneInNp(t *testing.T) {
+	s := layer()
+	prev := 0.0
+	for _, np := range []int{1, 2, 4, 8, 16} {
+		q := DirectDataflowIOOptimal(s, 8192, np)
+		if q < prev {
+			t.Errorf("Np=%d: I/O %v decreased from %v", np, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestBatchScaling(t *testing.T) {
+	s := layer()
+	single := DirectLowerBound(s, 1024)
+	batched := DirectLowerBound(s.WithBatch(8), 1024)
+	if math.Abs(batched-8*single) > 8*single*0.01 {
+		t.Errorf("batched bound %v not ~8x single %v", batched, single)
+	}
+}

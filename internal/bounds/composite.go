@@ -1,0 +1,90 @@
+// Package bounds implements the paper's I/O lower-bound theory: the general
+// composite-algorithm engine of Theorems 4.5/4.6, its instantiations for the
+// direct convolution (Theorem 4.12) and the Winograd algorithm (Theorem
+// 4.20), and the dataflow I/O cost models of Section 5 (Equations 20–23)
+// whose comparison with the bounds yields the optimality condition x·y = R·z.
+package bounds
+
+import "math"
+
+// Step describes one sub-computation of a multi-step partition through its
+// two maximum vertex generation functions (Section 4.1.2):
+//
+//	Phi(k): the maximum number of vertices of the sub-computation's vertex
+//	        set U_j generable from k operands, and
+//	Psi(k): the maximum number of vertices of its output set Õ_j generable
+//	        from k operands (these feed the next sub-computation).
+//
+// Both must be nondecreasing in k.
+type Step struct {
+	Name string
+	Phi  func(k float64) float64
+	Psi  func(k float64) float64
+}
+
+// T evaluates the upper bound T(S) of Theorem 4.5 by exact maximization over
+// all integer splits k_1 + ... + k_n <= S:
+//
+//	T(S) = S + max Σ_j φ_j(k_j + ψ_{j-1}(k_{j-1} + ψ_{j-2}(...)))
+//
+// The enumeration is exponential in the number of steps; with the paper's
+// n ≤ 4 and S up to a few hundred it is fast. For larger S use TGranular.
+func T(steps []Step, s int) float64 {
+	return TGranular(steps, s, 1)
+}
+
+// TGranular evaluates T(S) like T but only considers splits whose parts are
+// multiples of gran (plus the exact remainder on the last step), trading
+// precision for speed on large S. Because every φ_j and ψ_j is
+// nondecreasing, the result with gran > 1 is a lower estimate of the true
+// maximum within one gran per step; callers needing a guaranteed upper bound
+// for a *lower* I/O bound should prefer closed forms.
+func TGranular(steps []Step, s int, gran int) float64 {
+	if len(steps) == 0 || s <= 0 {
+		return float64(s)
+	}
+	if gran < 1 {
+		gran = 1
+	}
+	best := 0.0
+	var rec func(j, rem int, w, acc float64)
+	rec = func(j, rem int, w, acc float64) {
+		if j == len(steps)-1 {
+			// Monotone φ, ψ: give the last step everything that remains.
+			in := float64(rem) + w
+			if v := acc + steps[j].Phi(in); v > best {
+				best = v
+			}
+			return
+		}
+		for k := 0; ; k += gran {
+			if k > rem {
+				k = rem
+			}
+			in := float64(k) + w
+			rec(j+1, rem-k, steps[j].Psi(in), acc+steps[j].Phi(in))
+			if k == rem {
+				break
+			}
+		}
+	}
+	rec(0, s, 0, 0)
+	return float64(s) + best
+}
+
+// HongKungBound is Theorem 4.6: given the total number of computed vertices
+// |V| of the DAG and the value T(2S), the minimum I/O satisfies
+// Q ≥ S·(|V|/T(2S) − 1). Negative results are clamped to zero.
+func HongKungBound(totalVertices float64, t2s float64, s int) float64 {
+	if t2s <= 0 {
+		return 0
+	}
+	q := float64(s) * (totalVertices/t2s - 1)
+	return math.Max(q, 0)
+}
+
+// CompositeLowerBound combines the engine pieces: it evaluates T at 2S for
+// the given steps and applies Theorem 4.6.
+func CompositeLowerBound(steps []Step, totalVertices float64, s int) float64 {
+	return HongKungBound(totalVertices, T(steps, 2*s), s)
+}

@@ -1,0 +1,63 @@
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/shapes"
+)
+
+// DirectSteps returns the two-step φ/ψ description of the direct convolution
+// DAG (Lemmas 4.9 and 4.10) for a fast memory that allows dominator and
+// minimum sets of at most s vertices. Note the φ of step 1 itself depends on
+// s, exactly as in Lemma 4.9.
+func DirectSteps(shape shapes.ConvShape, s int) []Step {
+	r := shape.R()
+	sf := float64(s)
+	products := Step{
+		Name: "products",
+		Phi:  func(k float64) float64 { return 2 * sf * math.Sqrt(r*k) },
+		Psi:  func(k float64) float64 { return 2 * sf * math.Sqrt(r*k) }, // ψ1 = φ1 (no internal vertices)
+	}
+	summation := Step{
+		Name: "summation",
+		Phi:  func(k float64) float64 { return math.Max(k-1, 0) },
+		Psi:  func(k float64) float64 { return 0 }, // outputs are terminal
+	}
+	return []Step{products, summation}
+}
+
+// DirectTClosed is Lemma 4.11's closed form T(S) ≤ 4S√(RS) + S − 1.
+func DirectTClosed(shape shapes.ConvShape, s int) float64 {
+	sf := float64(s)
+	return 4*sf*math.Sqrt(shape.R()*sf) + sf - 1
+}
+
+// DirectTotalVertices is |V_inter ∪ V_out| of Lemma 4.8 for one image,
+// scaled by the batch size: (2·Wker·Hker·Cin − 1)·Wout·Hout·Cout·N.
+func DirectTotalVertices(shape shapes.ConvShape) float64 {
+	return float64(2*shape.KernelSize()-1) * float64(shape.OutputVolume()) * float64(shape.Batch)
+}
+
+// DirectLowerBound is the proof-exact form of Theorem 4.12: Theorem 4.6
+// applied with the closed-form T(2S) of Lemma 4.11, in elements moved
+// between fast and slow memory.
+func DirectLowerBound(shape shapes.ConvShape, s int) float64 {
+	return HongKungBound(DirectTotalVertices(shape), DirectTClosed(shape, 2*s), s)
+}
+
+// DirectLowerBoundLeading is the Ω-form highest-order term of Theorem 4.12:
+//
+//	Q = Wker·Hker·Cin·Wout·Hout·Cout / (4·sqrt(2·R·S))
+//
+// scaled by batch.
+func DirectLowerBoundLeading(shape shapes.ConvShape, s int) float64 {
+	num := float64(shape.KernelSize()) * float64(shape.OutputVolume()) * float64(shape.Batch)
+	return num / (4 * math.Sqrt(2*shape.R()*float64(s)))
+}
+
+// DirectLowerBoundEngine evaluates the same bound through the generic
+// composite engine instead of the closed form; it is tighter (the engine
+// maximizes exactly) but costs O(S) evaluation.
+func DirectLowerBoundEngine(shape shapes.ConvShape, s int) float64 {
+	return CompositeLowerBound(DirectSteps(shape, 2*s), DirectTotalVertices(shape), s)
+}

@@ -1,0 +1,64 @@
+package bounds
+
+import "math"
+
+// This file instantiates the composite engine for classic matrix
+// multiplication — the algorithm Hong & Kung originally analyzed. It serves
+// as a known-answer anchor for the generic theory: the engine's two-step
+// description of C = A·B (products, then summation trees) must reproduce the
+// Θ(n³/√S) law, and the derived bound must sit below the I/O of any real
+// blocked schedule.
+
+// MatMulSteps describes the m×k×n matrix multiplication as the same
+// two-step partition the paper uses for the direct convolution (products
+// then summation trees), with reuse factor R = 1: each product a_ip·b_pj is
+// used exactly once, and a dominator of h₁ operand entries can generate at
+// most... following Lemma 4.9's argument with R = 1, φ₁(h) = 2S√h.
+func MatMulSteps(s int) []Step {
+	sf := float64(s)
+	return []Step{
+		{
+			Name: "products",
+			Phi:  func(k float64) float64 { return 2 * sf * math.Sqrt(k) },
+			Psi:  func(k float64) float64 { return 2 * sf * math.Sqrt(k) },
+		},
+		{
+			Name: "summation",
+			Phi:  func(k float64) float64 { return math.Max(k-1, 0) },
+			Psi:  func(k float64) float64 { return 0 },
+		},
+	}
+}
+
+// MatMulTotalVertices is the computed-vertex count of the m×k×n matmul DAG
+// with chained summation trees: m·n outputs, each with k products and k−1
+// additions — (2k−1)·m·n, the R=1 analogue of Lemma 4.8.
+func MatMulTotalVertices(m, k, n int) float64 {
+	return float64(2*k-1) * float64(m) * float64(n)
+}
+
+// MatMulLowerBound applies Theorem 4.6 to the matmul description: the
+// closed-form T(S) of Lemma 4.11 with R = 1 gives T(S) = 4S√S + S − 1 and
+//
+//	Q ≥ S·((2k−1)·m·n / T(2S) − 1) = Ω(m·k·n/√S),
+//
+// the classic Hong–Kung result.
+func MatMulLowerBound(m, k, n, s int) float64 {
+	sf := float64(s)
+	t2s := 8*sf*math.Sqrt(2*sf) + 2*sf - 1
+	return HongKungBound(MatMulTotalVertices(m, k, n), t2s, s)
+}
+
+// MatMulBlockedIO is the off-chip traffic of the standard square-blocked
+// schedule with block edge b = √(S/3) (three resident tiles):
+//
+//	Q = 2·m·k·n/b + m·n   (A and B panels streamed per block, C written once)
+//
+// It must always sit above MatMulLowerBound.
+func MatMulBlockedIO(m, k, n, s int) float64 {
+	b := math.Sqrt(float64(s) / 3)
+	if b < 1 {
+		b = 1
+	}
+	return 2*float64(m)*float64(k)*float64(n)/b + float64(m)*float64(n)
+}

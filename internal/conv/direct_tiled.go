@@ -1,0 +1,290 @@
+package conv
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+// DirectTiled runs the paper's near I/O-optimal direct-convolution dataflow
+// (Section 5.2). Each simulated thread block owns an x×y×z output sub-block
+// whose partial sums stay resident in shared memory for the whole
+// computation; the required inputs arrive as an x'×y' tile at one channel at
+// a time (the α=1 channel-sliding schedule), together with the matching z
+// kernel slices. Inputs and weights are therefore loaded from off-chip
+// memory exactly once per block and outputs are written exactly once — the
+// structure whose I/O volume Equation 21 models.
+func DirectTiled(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kernels *tensor.Tensor) (*Result, error) {
+	if err := checkOperands(s, input, kernels); err != nil {
+		return nil, err
+	}
+	if err := cfg.ValidateDirect(s, arch); err != nil {
+		return nil, err
+	}
+	return directTiled(arch, s, cfg, input, kernels)
+}
+
+// DirectTiledDry returns DirectTiled's exact counts and simulated time
+// without touching data (Output is nil). Tests pin its counts to the wet
+// path's.
+func DirectTiledDry(arch memsim.Arch, s shapes.ConvShape, cfg Config) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.ValidateDirect(s, arch); err != nil {
+		return nil, err
+	}
+	return directTiled(arch, s, cfg, nil, nil)
+}
+
+func directTiled(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kernels *tensor.Tensor) (*Result, error) {
+	hout, wout := s.Hout(), s.Wout()
+	bx := (wout + cfg.TileX - 1) / cfg.TileX
+	by := (hout + cfg.TileY - 1) / cfg.TileY
+	bz := (s.Cout + cfg.TileZ - 1) / cfg.TileZ
+	blocks := bx * by * bz * s.Batch
+
+	l := memsim.Launch{
+		Blocks:          blocks,
+		ThreadsPerBlock: cfg.Threads(),
+		SharedPerBlock:  cfg.SharedPerBlock,
+		BandwidthEff:    layoutEff(cfg.Layout),
+	}
+	wet := input != nil
+	if !wet {
+		// Dry run: the per-block counts are separable across the three
+		// block axes, so exact totals come from per-axis sums (O(dims)
+		// instead of O(blocks·Cin)). The wet path below produces identical
+		// counts; tests pin the two together.
+		counts := dryDirectCounts(s, cfg, bx, by, bz)
+		return &Result{Counts: counts, Launch: l,
+			Seconds: arch.Time(counts, l), GFLOPS: arch.GFLOPS(counts, l)}, nil
+	}
+
+	out := tensor.New(s.Batch, s.Cout, hout, wout)
+	ctr := &memsim.Counter{}
+
+	// Each simulated block is independent; fan them across CPU workers.
+	type blockID struct{ n, ix, iy, iz int }
+	work := make(chan blockID, 64)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			blk := memsim.NewBlock(ctr, cfg.SharedPerBlock)
+			for b := range work {
+				runDirectBlock(blk, s, cfg, input, kernels, out, b.n, b.ix, b.iy, b.iz, true)
+			}
+		}()
+	}
+	for n := 0; n < s.Batch; n++ {
+		for iz := 0; iz < bz; iz++ {
+			for iy := 0; iy < by; iy++ {
+				for ix := 0; ix < bx; ix++ {
+					work <- blockID{n, ix, iy, iz}
+				}
+			}
+		}
+	}
+	close(work)
+	wg.Wait()
+	return finishResult(arch, out, ctr, l), nil
+}
+
+// dryDirectCounts computes the exact traffic of the tiled dataflow from
+// per-axis aggregates. For each block the wet path counts, per channel:
+// validW·validH input-tile loads, Hker·Wker·zz weight loads, 2·macs flops —
+// all products of per-axis quantities, so sums over the block grid factor.
+func dryDirectCounts(s shapes.ConvShape, cfg Config, bx, by, bz int) memsim.Counts {
+	var sumValidW, sumValidH, sumXX, sumYY, sumZZ int64
+	for ix := 0; ix < bx; ix++ {
+		x0 := ix * cfg.TileX
+		xx := min(cfg.TileX, s.Wout()-x0)
+		xp := s.Strid*xx + s.Wker - s.Strid
+		sumXX += int64(xx)
+		sumValidW += int64(clippedLen(x0*s.Strid-s.Pad, xp, s.Win))
+	}
+	for iy := 0; iy < by; iy++ {
+		y0 := iy * cfg.TileY
+		yy := min(cfg.TileY, s.Hout()-y0)
+		yp := s.Strid*yy + s.Hker - s.Strid
+		sumYY += int64(yy)
+		sumValidH += int64(clippedLen(y0*s.Strid-s.Pad, yp, s.Hin))
+	}
+	for iz := 0; iz < bz; iz++ {
+		sumZZ += int64(min(cfg.TileZ, s.Cout-iz*cfg.TileZ))
+	}
+	// Per-axis halo'd (unclipped staging) sums for shared-store traffic.
+	var sumXP, sumYP int64
+	for ix := 0; ix < bx; ix++ {
+		xx := min(cfg.TileX, s.Wout()-ix*cfg.TileX)
+		sumXP += int64(s.Strid*xx + s.Wker - s.Strid)
+	}
+	for iy := 0; iy < by; iy++ {
+		yy := min(cfg.TileY, s.Hout()-iy*cfg.TileY)
+		sumYP += int64(s.Strid*yy + s.Hker - s.Strid)
+	}
+	cin := int64(s.Cin)
+	k2 := int64(s.Hker * s.Wker)
+	batch := int64(s.Batch)
+	bxy := int64(bx) * int64(by)
+	vol := sumXX * sumYY * sumZZ // Σ blocks xx·yy·zz
+
+	var c memsim.Counts
+	c.GlobalLoads = batch * cin * (sumValidW*sumValidH*int64(bz) + k2*sumZZ*bxy)
+	c.GlobalStores = batch * vol
+	c.Flops = batch * cin * 2 * k2 * vol
+	c.SharedLoads = batch * (cin*2*k2*vol + vol)
+	c.SharedStores = batch * (cin*(sumXP*sumYP*int64(bz)+k2*sumZZ*bxy) + cin*vol)
+	return c
+}
+
+// runDirectBlock updates one x×y×z output sub-block. In dry mode it only
+// performs the counting that the wet mode's staging helpers would.
+func runDirectBlock(blk *memsim.Block, s shapes.ConvShape, cfg Config,
+	input, kernels, out *tensor.Tensor, n, ix, iy, iz int, wet bool) {
+
+	hout, wout := s.Hout(), s.Wout()
+	x0, y0, z0 := ix*cfg.TileX, iy*cfg.TileY, iz*cfg.TileZ
+	xx := min(cfg.TileX, wout-x0)
+	yy := min(cfg.TileY, hout-y0)
+	zz := min(cfg.TileZ, s.Cout-z0)
+
+	// Halo'd input tile footprint for the clipped output tile.
+	xp := s.Strid*xx + s.Wker - s.Strid
+	yp := s.Strid*yy + s.Hker - s.Strid
+	// Origin of the input tile in (possibly padded) input coordinates.
+	ox := x0*s.Strid - s.Pad
+	oy := y0*s.Strid - s.Pad
+	// Valid (in-bounds) portion actually loaded from off-chip memory.
+	validW := clippedLen(ox, xp, s.Win)
+	validH := clippedLen(oy, yp, s.Hin)
+
+	blk.Reset()
+	var outTile, inTile, wTile []float32
+	if wet {
+		outTile = blk.Alloc(xx * yy * zz)
+		inTile = blk.Alloc(xp * yp)
+		wTile = blk.Alloc(s.Hker * s.Wker * zz)
+		for i := range outTile {
+			outTile[i] = 0
+		}
+	} else {
+		blk.Alloc(xx*yy*zz + xp*yp + s.Hker*s.Wker*zz) // capacity check only
+	}
+
+	ctr := blkCounter(blk)
+	for c := 0; c < s.Cin; c++ {
+		// Stage the channel-c input tile (paper's α=1 slide) and weights.
+		ctr.AddGlobalLoads(validW * validH)
+		ctr.AddSharedStores(xp * yp)
+		ctr.AddGlobalLoads(s.Hker * s.Wker * zz)
+		ctr.AddSharedStores(s.Hker * s.Wker * zz)
+		macs := xx * yy * zz * s.Hker * s.Wker
+		ctr.AddFlops(2 * macs)
+		ctr.AddSharedLoads(2 * macs)
+		ctr.AddSharedStores(xx * yy * zz)
+		if !wet {
+			continue
+		}
+		for j := 0; j < yp; j++ {
+			for i := 0; i < xp; i++ {
+				inTile[j*xp+i] = input.AtPadded(n, c, oy+j, ox+i)
+			}
+		}
+		for k := 0; k < zz; k++ {
+			for p := 0; p < s.Hker; p++ {
+				for q := 0; q < s.Wker; q++ {
+					wTile[(k*s.Hker+p)*s.Wker+q] = kernels.At(z0+k, c, p, q)
+				}
+			}
+		}
+		for k := 0; k < zz; k++ {
+			for j := 0; j < yy; j++ {
+				for i := 0; i < xx; i++ {
+					var acc float32
+					for p := 0; p < s.Hker; p++ {
+						base := (j*s.Strid + p) * xp
+						wbase := (k*s.Hker + p) * s.Wker
+						for q := 0; q < s.Wker; q++ {
+							acc += inTile[base+i*s.Strid+q] * wTile[wbase+q]
+						}
+					}
+					outTile[(k*yy+j)*xx+i] += acc
+				}
+			}
+		}
+	}
+
+	// Write the finished sub-block back exactly once.
+	ctr.AddGlobalStores(xx * yy * zz)
+	ctr.AddSharedLoads(xx * yy * zz)
+	if wet {
+		for k := 0; k < zz; k++ {
+			for j := 0; j < yy; j++ {
+				for i := 0; i < xx; i++ {
+					out.Set(n, z0+k, y0+j, x0+i, outTile[(k*yy+j)*xx+i])
+				}
+			}
+		}
+	}
+}
+
+// DefaultDirectConfig derives the untuned Section 5.2 configuration: the
+// output tile satisfies the optimality condition x·y = R·z with volume
+// x·y·z ≈ S/Np — the per-processor share of on-chip memory, where Np is the
+// number of blocks needed to keep every SM busy (at least two blocks per
+// SM). It is the starting point of the tuner and of the quickstart example.
+func DefaultDirectConfig(arch memsim.Arch, s shapes.ConvShape) Config {
+	sb := arch.MaxSharedPerBlock()
+	cfg := Config{SharedPerBlock: sb, Layout: tensor.NCHW}
+	totalOut := s.OutputVolume() * s.Batch
+	// Volume target: whichever is smaller of "fill the shared memory" and
+	// "leave enough blocks to saturate the device".
+	volTarget := sb * 3 / 4
+	if byPar := totalOut / (2 * arch.NumSMs); byPar >= 1 && byPar < volTarget {
+		volTarget = byPar
+	}
+	best := Config{}
+	for z := min(s.Cout, 512); z >= 1; z-- {
+		xy := int(s.R() * float64(z))
+		side := 1
+		for side*side < xy {
+			side++
+		}
+		c := cfg
+		c.TileX = min(side, s.Wout())
+		c.TileY = min(side, s.Hout())
+		c.TileZ = z
+		if c.TileX*c.TileY*c.TileZ <= volTarget && DirectSharedNeed(s, c) <= sb {
+			best = c
+			break
+		}
+	}
+	if best.TileX == 0 {
+		best = cfg
+		best.TileX, best.TileY, best.TileZ = 1, 1, 1
+	}
+	best.ThreadsX = min(best.TileX, 16)
+	best.ThreadsY = min(best.TileY, 16)
+	best.ThreadsZ = min(best.TileZ, 1024/(best.ThreadsX*best.ThreadsY))
+	if best.ThreadsZ < 1 {
+		best.ThreadsZ = 1
+	}
+	return best
+}
+
+// blkCounter exposes the counter a Block charges to; small helper so the
+// dry/wet paths share bulk counting.
+func blkCounter(b *memsim.Block) *memsim.Counter { return b.Counter() }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,171 @@
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/fft"
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+// FFTConv computes the convolution by the frequency-domain route — the other
+// indirect method in the paper's taxonomy (Section 1 classifies algorithms
+// as direct vs indirect; Winograd and FFT are the indirect representatives).
+// Like the unfused Winograd baseline it stages through off-chip memory:
+//
+//  1. forward transforms of every input channel     (N·Cin 2-D FFTs)
+//  2. forward transforms of every kernel plane      (Cout·Cin 2-D FFTs)
+//  3. frequency-domain multiply-accumulate over Cin (per (n, k))
+//  4. inverse transforms + crop of every output     (N·Cout 2-D IFFTs)
+//
+// Correlation (the CNN convention) is obtained by conjugating the kernel
+// spectra. FFT convolution pays a large constant (complex arithmetic, padded
+// power-of-two grids) and wins only for big kernels; the tests pin its
+// numerics to the reference and its cost ordering against the other
+// algorithms.
+func FFTConv(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor) (*Result, error) {
+	if err := checkOperands(s, input, kernels); err != nil {
+		return nil, err
+	}
+	return fftConv(arch, s, input, kernels)
+}
+
+// FFTConvDry returns FFTConv's counts and simulated time without computing
+// values.
+func FFTConvDry(arch memsim.Arch, s shapes.ConvShape) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return fftConv(arch, s, nil, nil)
+}
+
+func fftConv(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor) (*Result, error) {
+	// Padded grid: circular correlation needs L >= padded input extent so
+	// the valid outputs see no wraparound.
+	lh := fft.NextPow2(s.Hin + 2*s.Pad)
+	lw := fft.NextPow2(s.Win + 2*s.Pad)
+	grid := lh * lw
+	fft1D := int64(fft.FlopsPerTransform(lh))*int64(lw) + int64(fft.FlopsPerTransform(lw))*int64(lh)
+
+	batch := int64(s.Batch)
+	cin, cout := int64(s.Cin), int64(s.Cout)
+	gridF := int64(grid)
+	// FFT kernels stage one row/column at a time, not the whole grid; the
+	// shared working set is a handful of complex lines.
+	stage := min(2*grid, 8192)
+
+	// Phase 1: input transforms (real image in, complex spectrum out).
+	var p1 memsim.Counts
+	p1.GlobalLoads = batch * cin * int64(s.Hin*s.Win)
+	p1.GlobalStores = batch * cin * gridF * 2
+	p1.Flops = batch * cin * fft1D
+	l1 := memsim.Launch{Blocks: max(1, int(batch*cin)), ThreadsPerBlock: 128,
+		SharedPerBlock: stage, BandwidthEff: 0.8}
+
+	// Phase 2: kernel transforms.
+	var p2 memsim.Counts
+	p2.GlobalLoads = cout * cin * int64(s.Hker*s.Wker)
+	p2.GlobalStores = cout * cin * gridF * 2
+	p2.Flops = cout * cin * fft1D
+	l2 := memsim.Launch{Blocks: max(1, int(cout*cin)), ThreadsPerBlock: 128,
+		SharedPerBlock: stage, BandwidthEff: 0.8}
+
+	// Phase 3: frequency-domain multiply-accumulate: for each (n, k), read
+	// Cin input spectra and Cin kernel spectra, write one spectrum.
+	var p3 memsim.Counts
+	p3.GlobalLoads = batch * cout * cin * gridF * 4
+	p3.GlobalStores = batch * cout * gridF * 2
+	p3.Flops = batch * cout * cin * gridF * 8 // complex MAC = 8 real flops
+	l3 := memsim.Launch{Blocks: max(1, int(batch*cout)), ThreadsPerBlock: 256,
+		SharedPerBlock: stage, BandwidthEff: 0.9}
+
+	// Phase 4: inverse transforms and crop.
+	var p4 memsim.Counts
+	p4.GlobalLoads = batch * cout * gridF * 2
+	p4.GlobalStores = batch * int64(s.OutputVolume())
+	p4.Flops = batch * cout * fft1D
+	l4 := memsim.Launch{Blocks: max(1, int(batch*cout)), ThreadsPerBlock: 128,
+		SharedPerBlock: stage, BandwidthEff: 0.8}
+
+	var out *tensor.Tensor
+	if input != nil {
+		var err error
+		out, err = fftConvCompute(s, lh, lw, input, kernels)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return finishPhased(arch, out, []phase{{p1, l1}, {p2, l2}, {p3, l3}, {p4, l4}}), nil
+}
+
+// fftConvCompute is the wet path with real spectra.
+func fftConvCompute(s shapes.ConvShape, lh, lw int, input, kernels *tensor.Tensor) (*tensor.Tensor, error) {
+	plan, err := fft.NewPlan2D(lh, lw)
+	if err != nil {
+		return nil, fmt.Errorf("conv: %w", err)
+	}
+	grid := lh * lw
+	// Kernel spectra, conjugated for correlation: conj(FFT(g)).
+	kspec := make([][]complex128, s.Cout*s.Cin)
+	buf := make([]complex128, grid)
+	for k := 0; k < s.Cout; k++ {
+		for c := 0; c < s.Cin; c++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			for p := 0; p < s.Hker; p++ {
+				for q := 0; q < s.Wker; q++ {
+					buf[p*lw+q] = complex(float64(kernels.At(k, c, p, q)), 0)
+				}
+			}
+			plan.Forward(buf)
+			spec := make([]complex128, grid)
+			for i, v := range buf {
+				spec[i] = complex(real(v), -imag(v))
+			}
+			kspec[k*s.Cin+c] = spec
+		}
+	}
+
+	out := tensor.New(s.Batch, s.Cout, s.Hout(), s.Wout())
+	ispec := make([][]complex128, s.Cin)
+	acc := make([]complex128, grid)
+	for n := 0; n < s.Batch; n++ {
+		// Input spectra for this image (padding folded into the grid).
+		for c := 0; c < s.Cin; c++ {
+			if ispec[c] == nil {
+				ispec[c] = make([]complex128, grid)
+			}
+			spec := ispec[c]
+			for i := range spec {
+				spec[i] = 0
+			}
+			for h := 0; h < s.Hin; h++ {
+				for w := 0; w < s.Win; w++ {
+					spec[(h+s.Pad)*lw+(w+s.Pad)] = complex(float64(input.At(n, c, h, w)), 0)
+				}
+			}
+			plan.Forward(spec)
+		}
+		for k := 0; k < s.Cout; k++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for c := 0; c < s.Cin; c++ {
+				spec := ispec[c]
+				ks := kspec[k*s.Cin+c]
+				for i := range acc {
+					acc[i] += spec[i] * ks[i]
+				}
+			}
+			plan.Inverse(acc)
+			for oh := 0; oh < s.Hout(); oh++ {
+				for ow := 0; ow < s.Wout(); ow++ {
+					out.Set(n, k, oh, ow, float32(real(acc[oh*s.Strid*lw+ow*s.Strid])))
+				}
+			}
+		}
+	}
+	return out, nil
+}

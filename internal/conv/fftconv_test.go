@@ -1,0 +1,86 @@
+package conv
+
+import (
+	"testing"
+
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+func TestFFTConvMatchesReference(t *testing.T) {
+	cases := []shapes.ConvShape{
+		{Batch: 1, Cin: 2, Hin: 8, Win: 8, Cout: 3, Hker: 3, Wker: 3, Strid: 1},
+		{Batch: 2, Cin: 3, Hin: 12, Win: 10, Cout: 2, Hker: 3, Wker: 3, Strid: 1, Pad: 1},
+		{Batch: 1, Cin: 2, Hin: 11, Win: 11, Cout: 2, Hker: 5, Wker: 5, Strid: 1, Pad: 2},
+		{Batch: 1, Cin: 1, Hin: 9, Win: 9, Cout: 2, Hker: 3, Wker: 3, Strid: 2},
+		{Batch: 1, Cin: 2, Hin: 16, Win: 16, Cout: 2, Hker: 7, Wker: 7, Strid: 1, Pad: 3},
+	}
+	for _, s := range cases {
+		in, ker := RandomOperands(s, 21)
+		want, err := Reference(s, in, ker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FFTConv(testArch, s, in, ker)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !tensor.AllClose(got.Output, want, tol) {
+			t.Errorf("%v: fft conv differs by %g", s, tensor.MaxAbsDiff(got.Output, want))
+		}
+	}
+}
+
+func TestFFTConvDryMatchesWet(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 10, Win: 10, Cout: 3, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	in, ker := RandomOperands(s, 22)
+	wet, err := FFTConv(testArch, s, in, ker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry, err := FFTConvDry(testArch, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wet.Counts != dry.Counts {
+		t.Errorf("wet %v != dry %v", wet.Counts, dry.Counts)
+	}
+}
+
+// FFT convolution's crossover: hopeless for 3×3 kernels (the padded complex
+// grids dwarf the work) but increasingly competitive with the direct
+// library path as the kernel grows — the classic algorithmic trade-off.
+func TestFFTConvCrossover(t *testing.T) {
+	ratio := func(k int) float64 {
+		s := shapes.ConvShape{Batch: 1, Cin: 64, Hin: 56, Win: 56, Cout: 64,
+			Hker: k, Wker: k, Strid: 1, Pad: k / 2}
+		fftr, err := FFTConvDry(testArch, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib, err := Im2colGEMMDry(testArch, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fftr.Seconds / lib.Seconds
+	}
+	r3, r11 := ratio(3), ratio(11)
+	if r3 <= r11 {
+		t.Errorf("FFT relative cost should fall with kernel size: 3x3 ratio %v vs 11x11 ratio %v", r3, r11)
+	}
+	if r3 < 1 {
+		t.Errorf("FFT conv should lose at 3x3 (ratio %v)", r3)
+	}
+}
+
+func TestFFTConvRejectsBadShape(t *testing.T) {
+	s := smallShape()
+	in, ker := RandomOperands(s, 23)
+	bad := tensor.New(1, 1, 1, 1)
+	if _, err := FFTConv(testArch, s, bad, ker); err == nil {
+		t.Error("bad input accepted")
+	}
+	if _, err := FFTConv(testArch, s, in, bad); err == nil {
+		t.Error("bad kernel accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+// Reference computes the convolution with a plain seven-loop CPU kernel in
+// NCHW layout. It is the correctness oracle for every simulated
+// implementation and performs no I/O accounting. Input is (N, Cin, Hin, Win),
+// kernels are (Cout, Cin, Hker, Wker); the result is (N, Cout, Hout, Wout).
+func Reference(s shapes.ConvShape, input, kernels *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := checkOperands(s, input, kernels); err != nil {
+		return nil, err
+	}
+	out := tensor.New(s.Batch, s.Cout, s.Hout(), s.Wout())
+	for n := 0; n < s.Batch; n++ {
+		for k := 0; k < s.Cout; k++ {
+			for oh := 0; oh < s.Hout(); oh++ {
+				for ow := 0; ow < s.Wout(); ow++ {
+					var acc float64
+					for c := 0; c < s.Cin; c++ {
+						for p := 0; p < s.Hker; p++ {
+							ih := oh*s.Strid + p - s.Pad
+							if ih < 0 || ih >= s.Hin {
+								continue
+							}
+							for q := 0; q < s.Wker; q++ {
+								iw := ow*s.Strid + q - s.Pad
+								if iw < 0 || iw >= s.Win {
+									continue
+								}
+								acc += float64(input.At(n, c, ih, iw)) * float64(kernels.At(k, c, p, q))
+							}
+						}
+					}
+					out.Set(n, k, oh, ow, float32(acc))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func checkOperands(s shapes.ConvShape, input, kernels *tensor.Tensor) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if input.N != s.Batch || input.C != s.Cin || input.H != s.Hin || input.W != s.Win {
+		return fmt.Errorf("conv: input tensor (%d,%d,%d,%d) does not match %v",
+			input.N, input.C, input.H, input.W, s)
+	}
+	if kernels.N != s.Cout || kernels.C != s.Cin || kernels.H != s.Hker || kernels.W != s.Wker {
+		return fmt.Errorf("conv: kernel tensor (%d,%d,%d,%d) does not match %v",
+			kernels.N, kernels.C, kernels.H, kernels.W, s)
+	}
+	return nil
+}
+
+// RandomOperands builds deterministic random input and kernel tensors for a
+// shape, a convenience shared by tests, benchmarks and examples.
+func RandomOperands(s shapes.ConvShape, seed int64) (input, kernels *tensor.Tensor) {
+	input = tensor.New(s.Batch, s.Cin, s.Hin, s.Win)
+	kernels = tensor.New(s.Cout, s.Cin, s.Hker, s.Wker)
+	input.FillRandom(seed)
+	kernels.FillRandom(seed + 1)
+	return input, kernels
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+)
+
+func TestAnalyzeDirectAndWinograd(t *testing.T) {
+	arch := memsim.GTX1080Ti
+	s := shapes.ConvShape{Batch: 1, Cin: 64, Hin: 28, Win: 28, Cout: 96, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	a, err := Analyze(arch, s, Options{Budget: 48, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Reports) != 2 {
+		t.Fatalf("expected direct + winograd reports, got %d", len(a.Reports))
+	}
+	for _, r := range a.Reports {
+		if r.LowerBound < 0 {
+			t.Errorf("%s: negative bound", r.Algorithm)
+		}
+		if r.Design == nil || r.Tuned == nil {
+			t.Fatalf("%s: missing results", r.Algorithm)
+		}
+		// Tuning never loses to the design it starts from (the design is a
+		// seed configuration of the engine).
+		if r.Tuned.Seconds > r.Design.Seconds*1.0001 {
+			t.Errorf("%s: tuned %v slower than design %v", r.Algorithm, r.Tuned.Seconds, r.Design.Seconds)
+		}
+		// Measured traffic respects the bound.
+		if r.LowerBound > 0 && float64(r.Tuned.Counts.GlobalIO()) < r.LowerBound {
+			t.Errorf("%s: traffic below bound", r.Algorithm)
+		}
+		if r.LowerBound > 0 && r.BoundGap < 1 {
+			t.Errorf("%s: bound gap %v < 1", r.Algorithm, r.BoundGap)
+		}
+	}
+	if a.Speedup() <= 1 {
+		t.Errorf("pipeline speedup %v not above 1", a.Speedup())
+	}
+	if a.Best < 0 || a.Best >= len(a.Reports) {
+		t.Errorf("Best index %d out of range", a.Best)
+	}
+}
+
+func TestAnalyzeStridedSkipsWinograd(t *testing.T) {
+	arch := memsim.V100
+	s := shapes.ConvShape{Batch: 1, Cin: 32, Hin: 28, Win: 28, Cout: 32, Hker: 3, Wker: 3, Strid: 2, Pad: 1}
+	a, err := Analyze(arch, s, Options{Budget: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Reports) != 1 || a.Reports[0].Algorithm != "direct" {
+		t.Errorf("strided layer should analyze direct only, got %d reports", len(a.Reports))
+	}
+}
+
+func TestAnalyzeRejectsBadShape(t *testing.T) {
+	if _, err := Analyze(memsim.V100, shapes.ConvShape{}, Options{}); err == nil {
+		t.Error("invalid shape accepted")
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	arch := memsim.TitanX
+	s := shapes.ConvShape{Batch: 1, Cin: 32, Hin: 14, Win: 14, Cout: 64, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	a1, err := Analyze(arch, s, Options{Budget: 32, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Analyze(arch, s, Options{Budget: 32, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Reports[a1.Best].TunedConfig != a2.Reports[a2.Best].TunedConfig {
+		t.Error("same seed produced different tuned configs")
+	}
+}

@@ -1,0 +1,259 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/shapes"
+)
+
+func tinyShape() shapes.ConvShape {
+	return shapes.ConvShape{Batch: 1, Cin: 2, Hin: 4, Win: 4, Cout: 2, Hker: 2, Wker: 2, Strid: 1}
+}
+
+func TestAddVertexInvariants(t *testing.T) {
+	g := New()
+	a := g.AddVertex(Input, 0)
+	b := g.AddVertex(Input, 0)
+	c := g.AddVertex(Output, 1, a, b)
+	if g.NumVertices() != 3 {
+		t.Fatalf("NumVertices=%d", g.NumVertices())
+	}
+	if g.Kind(c) != Output || g.Step(c) != 1 {
+		t.Errorf("vertex metadata wrong: %v step %d", g.Kind(c), g.Step(c))
+	}
+	if got := g.Succs(a); len(got) != 1 || got[0] != int32(c) {
+		t.Errorf("Succs(a)=%v", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if g.NumSteps() != 2 {
+		t.Errorf("NumSteps=%d want 2", g.NumSteps())
+	}
+}
+
+func TestAddVertexPanics(t *testing.T) {
+	cases := map[string]func(g *Graph){
+		"input with preds":    func(g *Graph) { g.AddVertex(Input, 0, 0) },
+		"internal no preds":   func(g *Graph) { g.AddVertex(Internal, 0) },
+		"forward ref":         func(g *Graph) { g.AddVertex(Internal, 0, 5) },
+		"self ref impossible": func(g *Graph) { g.AddVertex(Internal, 0, 1) },
+	}
+	for name, fn := range cases {
+		g := New()
+		g.AddVertex(Input, 0)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn(g)
+		}()
+	}
+}
+
+func TestSummationTreeCounts(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 17} {
+		g := New()
+		ins := make([]int, k)
+		for i := range ins {
+			ins[i] = g.AddVertex(Input, 0)
+		}
+		before := g.NumVertices()
+		root := AddSummationTree(g, 1, Output, ins)
+		added := g.NumVertices() - before
+		if added != SummationTreeSize(k) {
+			t.Errorf("k=%d: added %d vertices, formula says %d", k, added, SummationTreeSize(k))
+		}
+		if g.Kind(root) != Output {
+			t.Errorf("k=%d: root kind %v", k, g.Kind(root))
+		}
+		if g.MaxInDegree() > 2 {
+			t.Errorf("k=%d: summation tree in-degree %d > 2", k, g.MaxInDegree())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestLinearCombinationTreeCounts(t *testing.T) {
+	for _, k := range []int{1, 2, 4, 9, 16} {
+		g := New()
+		ins := make([]int, k)
+		for i := range ins {
+			ins[i] = g.AddVertex(Input, 0)
+		}
+		before := g.NumVertices()
+		AddLinearCombinationTree(g, 1, Output, ins)
+		added := g.NumVertices() - before
+		if added != LinearCombinationTreeSize(k) {
+			t.Errorf("k=%d: added %d vertices, formula says %d", k, added, LinearCombinationTreeSize(k))
+		}
+		if g.MaxInDegree() > 2 {
+			t.Errorf("k=%d: in-degree %d > 2", k, g.MaxInDegree())
+		}
+	}
+}
+
+func TestDirectConvMatchesLemma48(t *testing.T) {
+	for _, s := range []shapes.ConvShape{
+		tinyShape(),
+		{Batch: 1, Cin: 1, Hin: 4, Win: 4, Cout: 3, Hker: 3, Wker: 3, Strid: 1},
+		{Batch: 1, Cin: 2, Hin: 5, Win: 5, Cout: 1, Hker: 3, Wker: 3, Strid: 2},
+		{Batch: 1, Cin: 1, Hin: 3, Win: 3, Cout: 2, Hker: 1, Wker: 1, Strid: 1}, // K=1 edge case
+	} {
+		d, err := BuildDirectConv(s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		wantInputs := s.InputVolume() + s.KernelVolume()
+		if got := d.CountKind(Input); got != wantInputs {
+			t.Errorf("%v: inputs=%d want %d", s, got, wantInputs)
+		}
+		if got := d.CountKind(Output); got != s.OutputVolume() {
+			t.Errorf("%v: outputs=%d want %d", s, got, s.OutputVolume())
+		}
+		if got, want := d.ComputeCount(), DirectConvComputeCount(s); got != want {
+			t.Errorf("%v: compute vertices=%d, Lemma 4.8 says %d", s, got, want)
+		}
+		if d.MaxInDegree() > 2 {
+			t.Errorf("%v: in-degree %d > 2", s, d.MaxInDegree())
+		}
+		if s.KernelSize() > 1 && d.NumSteps() != 2 {
+			t.Errorf("%v: steps=%d want 2", s, d.NumSteps())
+		}
+	}
+}
+
+func TestDirectConvRejects(t *testing.T) {
+	s := tinyShape()
+	s.Pad = 1
+	if _, err := BuildDirectConv(s); err == nil {
+		t.Error("padded shape accepted")
+	}
+	s = tinyShape()
+	s.Batch = 2
+	if _, err := BuildDirectConv(s); err == nil {
+		t.Error("batched shape accepted")
+	}
+	s = tinyShape()
+	s.Hin = 1000
+	s.Win = 1000
+	s.Cout = 1000
+	if _, err := BuildDirectConv(s); err == nil {
+		t.Error("huge shape accepted")
+	}
+}
+
+func winoShape() shapes.ConvShape {
+	// 6x6 input, 3x3 kernel, stride 1 -> 4x4 output, divisible by e=2.
+	return shapes.ConvShape{Batch: 1, Cin: 2, Hin: 6, Win: 6, Cout: 2, Hker: 3, Wker: 3, Strid: 1}
+}
+
+func TestWinogradConvMatchesLemma414(t *testing.T) {
+	s := winoShape()
+	w, err := BuildWinogradConv(s, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.ComputeCount(), WinogradComputeCount(s, 2); got != want {
+		t.Errorf("compute vertices=%d, count formula says %d", got, want)
+	}
+	if got := w.CountKind(Output); got != s.OutputVolume() {
+		t.Errorf("outputs=%d want %d", got, s.OutputVolume())
+	}
+	if w.NumSteps() != 4 {
+		t.Errorf("steps=%d want 4", w.NumSteps())
+	}
+	if w.MaxInDegree() > 2 {
+		t.Errorf("in-degree %d > 2", w.MaxInDegree())
+	}
+	// Leading-term check of Lemma 4.14: count >= 2*Wout*Hout*Cout*Cin*alpha^4/e^2.
+	alpha := 2 + 3 - 1
+	lead := 2 * s.Wout() * s.Hout() * s.Cout * s.Cin * alpha * alpha * alpha * alpha / (2 * 2)
+	if w.ComputeCount() < lead {
+		t.Errorf("compute count %d below Lemma 4.14 leading term %d", w.ComputeCount(), lead)
+	}
+}
+
+func TestWinogradSharedSmaller(t *testing.T) {
+	s := winoShape()
+	unshared, err := BuildWinogradConv(s, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := BuildWinogradConv(s, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.NumVertices() >= unshared.NumVertices() {
+		t.Errorf("shared DAG (%d vertices) not smaller than unshared (%d)",
+			shared.NumVertices(), unshared.NumVertices())
+	}
+	if shared.CountKind(Output) != unshared.CountKind(Output) {
+		t.Error("sharing changed the number of outputs")
+	}
+	if err := shared.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWinogradConvRejects(t *testing.T) {
+	s := winoShape()
+	s.Strid = 2
+	if _, err := BuildWinogradConv(s, 2, false); err == nil {
+		t.Error("stride 2 accepted")
+	}
+	s = winoShape()
+	if _, err := BuildWinogradConv(s, 3, false); err == nil {
+		t.Error("non-divisible tile size accepted")
+	}
+	s = winoShape()
+	s.Cin = 1
+	if _, err := BuildWinogradConv(s, 2, false); err == nil {
+		t.Error("Cin=1 accepted")
+	}
+}
+
+// Property: for random tiny direct-conv shapes the DAG vertex count always
+// matches the closed-form Lemma 4.8 value.
+func TestDirectConvCountProperty(t *testing.T) {
+	f := func(cin, cout, hw, k uint8) bool {
+		s := shapes.ConvShape{
+			Batch: 1,
+			Cin:   int(cin%2) + 1,
+			Cout:  int(cout%2) + 1,
+			Hin:   int(hw%3) + 3,
+			Win:   int(hw%3) + 3,
+			Hker:  int(k%2) + 1,
+			Wker:  int(k%2) + 1,
+			Strid: 1,
+		}
+		d, err := BuildDirectConv(s)
+		if err != nil {
+			return false
+		}
+		return d.ComputeCount() == DirectConvComputeCount(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Input.String() != "input" || Internal.String() != "internal" || Output.String() != "output" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should stringify")
+	}
+}

@@ -1,0 +1,113 @@
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/shapes"
+)
+
+// DirectConv is the DAG of a direct convolution (Figure 4 of the paper)
+// together with the id ranges of its constituent parts.
+type DirectConv struct {
+	*Graph
+	Shape shapes.ConvShape
+
+	// InputIDs[c][h][w] is the vertex id of input pixel (c,h,w).
+	InputIDs [][][]int
+	// KernelIDs[k][c][p][q] is the vertex id of weight (k,c,p,q).
+	KernelIDs [][][][]int
+	// OutputIDs[k][h][w] is the vertex id of output (k,h,w).
+	OutputIDs [][][]int
+}
+
+// StepProducts and StepSummation are the two sub-computations of the direct
+// convolution's multi-step partition.
+const (
+	StepProducts  = 0 // element products of sliding windows with kernels
+	StepSummation = 1 // summation trees reducing products to outputs
+)
+
+// BuildDirectConv constructs the complete direct-convolution DAG for the
+// given shape (batch 1, no padding: the pebble-game analysis of the paper is
+// for a single unpadded image). The DAG has Win·Hin·Cin + Wker·Hker·Cin·Cout
+// input vertices and (2·Wker·Hker·Cin − 1)·Wout·Hout·Cout computed vertices
+// (Lemma 4.8). Vertex counts grow very quickly; callers should keep shapes
+// tiny (this builder is for theory validation, not execution).
+func BuildDirectConv(s shapes.ConvShape) (*DirectConv, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Pad != 0 || s.Batch != 1 {
+		return nil, fmt.Errorf("dag: direct-conv DAG requires batch 1, pad 0, got %v", s)
+	}
+	const maxVertices = 1 << 22
+	est := s.InputVolume() + s.KernelVolume() + (2*s.KernelSize()-1)*s.OutputVolume()
+	if est > maxVertices {
+		return nil, fmt.Errorf("dag: shape %v needs ~%d vertices (max %d)", s, est, maxVertices)
+	}
+
+	g := New()
+	d := &DirectConv{Graph: g, Shape: s}
+
+	d.InputIDs = make([][][]int, s.Cin)
+	for c := 0; c < s.Cin; c++ {
+		d.InputIDs[c] = make([][]int, s.Hin)
+		for h := 0; h < s.Hin; h++ {
+			d.InputIDs[c][h] = make([]int, s.Win)
+			for w := 0; w < s.Win; w++ {
+				d.InputIDs[c][h][w] = g.AddVertex(Input, StepProducts)
+			}
+		}
+	}
+	d.KernelIDs = make([][][][]int, s.Cout)
+	for k := 0; k < s.Cout; k++ {
+		d.KernelIDs[k] = make([][][]int, s.Cin)
+		for c := 0; c < s.Cin; c++ {
+			d.KernelIDs[k][c] = make([][]int, s.Hker)
+			for p := 0; p < s.Hker; p++ {
+				d.KernelIDs[k][c][p] = make([]int, s.Wker)
+				for q := 0; q < s.Wker; q++ {
+					d.KernelIDs[k][c][p][q] = g.AddVertex(Input, StepProducts)
+				}
+			}
+		}
+	}
+
+	hout, wout := s.Hout(), s.Wout()
+	d.OutputIDs = make([][][]int, s.Cout)
+	products := make([]int, 0, s.KernelSize())
+	for k := 0; k < s.Cout; k++ {
+		d.OutputIDs[k] = make([][]int, hout)
+		for oh := 0; oh < hout; oh++ {
+			d.OutputIDs[k][oh] = make([]int, wout)
+			for ow := 0; ow < wout; ow++ {
+				if s.KernelSize() == 1 {
+					// Degenerate 1x1x1 window: the single product is the output.
+					in := d.InputIDs[0][oh*s.Strid][ow*s.Strid]
+					wv := d.KernelIDs[k][0][0][0]
+					d.OutputIDs[k][oh][ow] = g.AddVertex(Output, StepProducts, in, wv)
+					continue
+				}
+				products = products[:0]
+				for c := 0; c < s.Cin; c++ {
+					for p := 0; p < s.Hker; p++ {
+						for q := 0; q < s.Wker; q++ {
+							in := d.InputIDs[c][oh*s.Strid+p][ow*s.Strid+q]
+							wv := d.KernelIDs[k][c][p][q]
+							products = append(products, g.AddVertex(Internal, StepProducts, in, wv))
+						}
+					}
+				}
+				d.OutputIDs[k][oh][ow] = AddSummationTree(g, StepSummation, Output, products)
+			}
+		}
+	}
+	return d, nil
+}
+
+// DirectConvComputeCount returns the exact number of internal plus output
+// vertices of the direct-convolution DAG, (2·Wker·Hker·Cin − 1)·Wout·Hout·Cout
+// (Lemma 4.8), without building the graph.
+func DirectConvComputeCount(s shapes.ConvShape) int {
+	return (2*s.KernelSize() - 1) * s.OutputVolume()
+}

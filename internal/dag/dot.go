@@ -1,0 +1,53 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, coloring vertices by
+// kind and grouping them by sub-computation step, so small convolution DAGs
+// (Figures 4 and 5 of the paper) can be visualized directly. Graphs beyond
+// maxDOTVertices are refused — a plot with millions of nodes helps no one.
+const maxDOTVertices = 4096
+
+// WriteDOT writes the DOT representation of g to w.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	if g.NumVertices() > maxDOTVertices {
+		return fmt.Errorf("dag: %d vertices exceed the %d-vertex DOT limit", g.NumVertices(), maxDOTVertices)
+	}
+	if name == "" {
+		name = "dag"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=circle, fontsize=8];\n", name); err != nil {
+		return err
+	}
+	for step := 0; step < g.NumSteps(); step++ {
+		fmt.Fprintf(w, "  subgraph cluster_step%d {\n    label=\"step %d\";\n", step, step)
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Step(v) != step {
+				continue
+			}
+			var style string
+			switch g.Kind(v) {
+			case Input:
+				style = `style=filled, fillcolor=lightblue`
+			case Output:
+				style = `style=filled, fillcolor=lightsalmon`
+			default:
+				style = `style=filled, fillcolor=white`
+			}
+			fmt.Fprintf(w, "    v%d [label=\"%d\", %s];\n", v, v, style)
+		}
+		if _, err := fmt.Fprint(w, "  }\n"); err != nil {
+			return err
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, p := range g.Preds(v) {
+			fmt.Fprintf(w, "  v%d -> v%d;\n", p, v)
+		}
+	}
+	_, err := fmt.Fprint(w, "}\n")
+	return err
+}

@@ -1,0 +1,49 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/shapes"
+)
+
+func TestWriteDOT(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 1, Hin: 3, Win: 3, Cout: 1, Hker: 2, Wker: 2, Strid: 1}
+	d, err := BuildDirectConv(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, d.Graph, "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "cluster_step0", "cluster_step1", "lightblue", "lightsalmon", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Edge count must match the DAG.
+	edges := 0
+	for v := 0; v < d.NumVertices(); v++ {
+		edges += len(d.Preds(v))
+	}
+	if got := strings.Count(out, "->"); got != edges {
+		t.Errorf("DOT has %d edges, DAG has %d", got, edges)
+	}
+}
+
+func TestWriteDOTRefusesHugeGraphs(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 4, Hin: 12, Win: 12, Cout: 8, Hker: 3, Wker: 3, Strid: 1}
+	d, err := BuildDirectConv(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumVertices() <= maxDOTVertices {
+		t.Skip("graph unexpectedly small")
+	}
+	var b strings.Builder
+	if err := WriteDOT(&b, d.Graph, ""); err == nil {
+		t.Error("huge graph accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package dag
+
+// This file provides the two tree gadgets from which the convolution DAGs
+// are assembled.
+
+// AddSummationTree appends a summation tree (Section 4.2) over the given
+// input vertex ids to the graph: the inputs are accumulated pairwise in a
+// chain, so a tree over k inputs adds k−2 internal vertices and one vertex
+// of the given final kind (Lemma 4.7). With a single input the "tree" is one
+// pass-through vertex of the final kind. The root id is returned.
+func AddSummationTree(g *Graph, step int, finalKind Kind, inputs []int) int {
+	if len(inputs) == 0 {
+		panic("dag: summation tree needs at least one input")
+	}
+	if len(inputs) == 1 {
+		return g.AddVertex(finalKind, step, inputs[0])
+	}
+	acc := inputs[0]
+	for i := 1; i < len(inputs); i++ {
+		kind := Internal
+		if i == len(inputs)-1 {
+			kind = finalKind
+		}
+		acc = g.AddVertex(kind, step, acc, inputs[i])
+	}
+	return acc
+}
+
+// AddLinearCombinationTree appends a linear-combination tree (Section 4.3)
+// over the given input vertex ids: each input is first multiplied by a
+// coefficient (one internal vertex per input — the coefficients themselves
+// live permanently in fast memory and are not DAG vertices, matching the
+// paper's red vertices in Figure 5), then the products are summed. A tree
+// over k inputs therefore adds 2k−2 internal vertices and one final vertex
+// (Lemma 4.13). The root id is returned.
+func AddLinearCombinationTree(g *Graph, step int, finalKind Kind, inputs []int) int {
+	if len(inputs) == 0 {
+		panic("dag: linear combination tree needs at least one input")
+	}
+	if len(inputs) == 1 {
+		// One scale vertex; it is also the root.
+		return g.AddVertex(finalKind, step, inputs[0])
+	}
+	scaled := make([]int, len(inputs))
+	for i, in := range inputs {
+		scaled[i] = g.AddVertex(Internal, step, in)
+	}
+	return AddSummationTree(g, step, finalKind, scaled)
+}
+
+// SummationTreeSize returns the number of vertices a summation tree over k
+// inputs adds to the graph (internal plus root), per Lemma 4.7.
+func SummationTreeSize(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	return k - 1 // k-2 internal + 1 root
+}
+
+// LinearCombinationTreeSize returns the number of vertices a linear
+// combination tree over k inputs adds to the graph, per Lemma 4.13.
+func LinearCombinationTreeSize(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	return 2*k - 1 // 2k-2 internal + 1 root
+}

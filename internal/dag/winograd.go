@@ -1,0 +1,188 @@
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/shapes"
+)
+
+// The four sub-computations of the Winograd DAG's multi-step partition
+// (Figure 5): input/kernel transforms, element-wise multiplication,
+// channel summation, and the output transform.
+const (
+	StepTransform = 0 // P = Bᵀ·I·B and J = L·K·Lᵀ linear-combination trees
+	StepEltwise   = 1 // Λ = P ⊙ J element products
+	StepChanSum   = 2 // Π = Σ_c Λ summation trees along channels
+	StepOutput    = 3 // Y = Aᵀ·Π·A linear-combination trees
+)
+
+// WinogradConv is the DAG of the Winograd algorithm F(e×e, r×r) applied to a
+// full convolution layer, as in Figure 5 of the paper.
+type WinogradConv struct {
+	*Graph
+	Shape shapes.ConvShape
+	E     int // outputs per tile edge (the paper's e)
+	// Shared records whether transformed tiles P_i and J_k were shared
+	// across output channels / tiles (false reproduces the per-(i,k)
+	// recomputation counted by Lemma 4.14).
+	Shared bool
+
+	TilesH, TilesW int
+}
+
+// BuildWinogradConv constructs the Winograd DAG for the given shape and
+// output tile size e. The shape must have square kernels, stride 1, no
+// padding, batch 1, Cin ≥ 2, and output dimensions divisible by e. When
+// shared is false, the input-transform trees are rebuilt for every output
+// channel and the kernel-transform trees for every tile, which is the
+// recomputation-allowed DAG whose vertex count Lemma 4.14 states; when true,
+// transformed tiles are computed once and reused.
+func BuildWinogradConv(s shapes.ConvShape, e int, shared bool) (*WinogradConv, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case !s.WinogradOK():
+		return nil, fmt.Errorf("dag: %v does not admit Winograd (need square kernel, stride 1)", s)
+	case s.Pad != 0 || s.Batch != 1:
+		return nil, fmt.Errorf("dag: winograd DAG requires batch 1, pad 0, got %v", s)
+	case s.Cin < 2:
+		return nil, fmt.Errorf("dag: winograd DAG requires Cin >= 2, got %d", s.Cin)
+	case e < 1 || s.Hout()%e != 0 || s.Wout()%e != 0:
+		return nil, fmt.Errorf("dag: output %dx%d not divisible by e=%d", s.Hout(), s.Wout(), e)
+	}
+	r := s.Hker
+	alpha := e + r - 1
+	tilesH, tilesW := s.Hout()/e, s.Wout()/e
+	est := WinogradComputeCount(s, e)
+	const maxVertices = 1 << 22
+	if est > maxVertices {
+		return nil, fmt.Errorf("dag: shape %v needs ~%d vertices (max %d)", s, est, maxVertices)
+	}
+
+	g := New()
+	wc := &WinogradConv{Graph: g, Shape: s, E: e, Shared: shared, TilesH: tilesH, TilesW: tilesW}
+
+	// Input image vertices, indexed [c][h][w].
+	inIDs := make([][][]int, s.Cin)
+	for c := 0; c < s.Cin; c++ {
+		inIDs[c] = make([][]int, s.Hin)
+		for h := 0; h < s.Hin; h++ {
+			inIDs[c][h] = make([]int, s.Win)
+			for w := 0; w < s.Win; w++ {
+				inIDs[c][h][w] = g.AddVertex(Input, StepTransform)
+			}
+		}
+	}
+	// Kernel weight vertices, indexed [k][c][p*r+q].
+	kerIDs := make([][][]int, s.Cout)
+	for k := 0; k < s.Cout; k++ {
+		kerIDs[k] = make([][]int, s.Cin)
+		for c := 0; c < s.Cin; c++ {
+			kerIDs[k][c] = make([]int, r*r)
+			for i := range kerIDs[k][c] {
+				kerIDs[k][c][i] = g.AddVertex(Input, StepTransform)
+			}
+		}
+	}
+
+	// transformP builds the α² linear-combination trees of P for tile
+	// (th,tw) at channel c; each P element depends on the whole α×α input
+	// tile.
+	tileInputs := make([]int, 0, alpha*alpha)
+	transformP := func(th, tw, c int) []int {
+		tileInputs = tileInputs[:0]
+		for dh := 0; dh < alpha; dh++ {
+			for dw := 0; dw < alpha; dw++ {
+				tileInputs = append(tileInputs, inIDs[c][th*e+dh][tw*e+dw])
+			}
+		}
+		out := make([]int, alpha*alpha)
+		for i := range out {
+			out[i] = AddLinearCombinationTree(g, StepTransform, Internal, tileInputs)
+		}
+		return out
+	}
+	// transformJ builds the α² linear-combination trees of J for kernel k at
+	// channel c; each J element depends on the r² weights.
+	transformJ := func(k, c int) []int {
+		out := make([]int, alpha*alpha)
+		for i := range out {
+			out[i] = AddLinearCombinationTree(g, StepTransform, Internal, kerIDs[k][c])
+		}
+		return out
+	}
+
+	// Shared mode: precompute transforms once.
+	var sharedP map[[2]int][][]int // tile -> per-channel P element ids
+	var sharedJ [][][]int          // [k][c] -> J element ids
+	if shared {
+		sharedP = make(map[[2]int][][]int)
+		for th := 0; th < tilesH; th++ {
+			for tw := 0; tw < tilesW; tw++ {
+				per := make([][]int, s.Cin)
+				for c := 0; c < s.Cin; c++ {
+					per[c] = transformP(th, tw, c)
+				}
+				sharedP[[2]int{th, tw}] = per
+			}
+		}
+		sharedJ = make([][][]int, s.Cout)
+		for k := 0; k < s.Cout; k++ {
+			sharedJ[k] = make([][]int, s.Cin)
+			for c := 0; c < s.Cin; c++ {
+				sharedJ[k][c] = transformJ(k, c)
+			}
+		}
+	}
+
+	chanProducts := make([]int, s.Cin)
+	for th := 0; th < tilesH; th++ {
+		for tw := 0; tw < tilesW; tw++ {
+			for k := 0; k < s.Cout; k++ {
+				// Step 1: per-channel transformed tiles.
+				pElems := make([][]int, s.Cin)
+				jElems := make([][]int, s.Cin)
+				for c := 0; c < s.Cin; c++ {
+					if shared {
+						pElems[c] = sharedP[[2]int{th, tw}][c]
+						jElems[c] = sharedJ[k][c]
+					} else {
+						pElems[c] = transformP(th, tw, c)
+						jElems[c] = transformJ(k, c)
+					}
+				}
+				// Steps 2+3: element products and channel summation per
+				// tile position.
+				piElems := make([]int, alpha*alpha)
+				for pos := 0; pos < alpha*alpha; pos++ {
+					for c := 0; c < s.Cin; c++ {
+						chanProducts[c] = g.AddVertex(Internal, StepEltwise, pElems[c][pos], jElems[c][pos])
+					}
+					piElems[pos] = AddSummationTree(g, StepChanSum, Internal, chanProducts)
+				}
+				// Step 4: e² outputs, each a linear combination of all of Π.
+				for i := 0; i < e*e; i++ {
+					AddLinearCombinationTree(g, StepOutput, Output, piElems)
+				}
+			}
+		}
+	}
+	return wc, nil
+}
+
+// WinogradComputeCount returns the exact number of internal plus output
+// vertices of the recomputation-allowed (unshared) Winograd DAG. Its leading
+// term is 2·Wout·Hout·Cout·Cin·(e+r−1)⁴/e², matching Lemma 4.14.
+func WinogradComputeCount(s shapes.ConvShape, e int) int {
+	r := s.Hker
+	alpha := e + r - 1
+	a2 := alpha * alpha
+	perPair := a2*s.Cin*LinearCombinationTreeSize(a2) + // P trees
+		a2*s.Cin*LinearCombinationTreeSize(r*r) + // J trees
+		a2*s.Cin + // element products
+		a2*SummationTreeSize(s.Cin) + // channel sums
+		e*e*LinearCombinationTreeSize(a2) // output trees
+	pairs := (s.Hout() / e) * (s.Wout() / e) * s.Cout
+	return perPair * pairs
+}

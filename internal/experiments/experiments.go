@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7) on the simulated-architecture substrate:
+//
+//	Fig9   — dataflow-vs-library speedups across image sizes, output
+//	         channels and strides, direct + Winograd (1080Ti model)
+//	Fig10  — batched direct convolution speedups (1080Ti model)
+//	Fig11  — tuning-convergence curves of ATE vs SA/GA/random (V100 model)
+//	Table2 — search-space sizes, convergence iterations and final GFLOPS
+//	         for AlexNet layers, TVM-proxy vs ATE (V100 model)
+//	Fig12  — end-to-end CNN inference, tuned vs library (V100 model)
+//	Fig13  — architecture sensitivity (1080Ti / TitanX / GFX906)
+//	Theory — pebble-game measurements vs the lower-bound formulas
+//
+// Each experiment returns report tables so cmd/repro, the benchmarks and the
+// tests share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autotune"
+	"repro/internal/conv"
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+)
+
+// Options scales experiment effort. Zero values select full (paper-scale)
+// settings; Quick shrinks sweeps and budgets for benchmarks and smoke runs.
+type Options struct {
+	// Quick runs reduced sweeps (fewer sizes, smaller tuning budgets).
+	Quick bool
+	// Budget overrides the per-layer tuning budget (measurements).
+	Budget int
+	// Seed makes tuning runs deterministic.
+	Seed int64
+}
+
+func (o Options) budget(full, quick int) int {
+	if o.Budget > 0 {
+		return o.Budget
+	}
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func (o Options) seed() int64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// libraryDirect returns the better of the two library direct paths (naive
+// and im2col+GEMM), mirroring the paper's "best of the two direct
+// implementations in cuDNN".
+func libraryDirect(arch memsim.Arch, s shapes.ConvShape) (*conv.Result, error) {
+	naive, err := conv.NaiveDirectDry(arch, s)
+	if err != nil {
+		return nil, err
+	}
+	col, err := conv.Im2colGEMMDry(arch, s)
+	if err != nil {
+		return nil, err
+	}
+	if naive.Seconds < col.Seconds {
+		return naive, nil
+	}
+	return col, nil
+}
+
+// tuneDirect tunes the Section 5.2 dataflow on the pruned searching domain.
+func tuneDirect(arch memsim.Arch, s shapes.ConvShape, budget int, seed int64) (*autotune.Trace, error) {
+	sp, err := autotune.NewSpace(s, arch, autotune.Direct, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	opts := autotune.DefaultOptions()
+	opts.Budget = budget
+	opts.Patience = 0
+	opts.Seed = seed
+	return autotune.Tune(sp, autotune.DirectMeasurer(arch, s), opts)
+}
+
+// tuneWinograd tunes the Section 5.3 fused Winograd dataflow (e = 2).
+func tuneWinograd(arch memsim.Arch, s shapes.ConvShape, budget int, seed int64) (*autotune.Trace, error) {
+	sp, err := autotune.NewSpace(s, arch, autotune.Winograd, 2, true)
+	if err != nil {
+		return nil, err
+	}
+	opts := autotune.DefaultOptions()
+	opts.Budget = budget
+	opts.Patience = 0
+	opts.Seed = seed
+	return autotune.Tune(sp, autotune.WinogradMeasurer(arch, s), opts)
+}
+
+// bestLayerSeconds returns the simulated time of one layer under the
+// library (baseline) and under our tuned dataflows, picking the best
+// algorithm on each side — the per-layer contest behind Figure 12.
+func bestLayerSeconds(arch memsim.Arch, s shapes.ConvShape, budget int, seed int64) (baseline, tuned float64, err error) {
+	lib, err := libraryDirect(arch, s)
+	if err != nil {
+		return 0, 0, err
+	}
+	baseline = lib.Seconds
+	if s.WinogradOK() && s.Hker == 3 {
+		if wu, werr := conv.WinogradUnfusedDry(arch, s, 2); werr == nil && wu.Seconds < baseline {
+			baseline = wu.Seconds
+		}
+	}
+	dt, err := tuneDirect(arch, s, budget, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	tuned = dt.BestM.Seconds
+	// The coarse-grained dataflow designs themselves (Section 5's
+	// optimality-condition configs) are always candidates; tuning can only
+	// improve on them.
+	if res, derr := conv.DirectTiledDry(arch, s, conv.DefaultDirectConfig(arch, s)); derr == nil && res.Seconds < tuned {
+		tuned = res.Seconds
+	}
+	if s.WinogradOK() && s.Hker == 3 {
+		if wt, werr := tuneWinograd(arch, s, budget, seed); werr == nil && wt.BestM.Seconds < tuned {
+			tuned = wt.BestM.Seconds
+		}
+		wcfg := conv.DefaultWinogradConfig(arch, s, 2)
+		if res, werr := conv.WinogradFusedDry(arch, s, wcfg); werr == nil && res.Seconds < tuned {
+			tuned = res.Seconds
+		}
+	}
+	if math.IsInf(tuned, 1) || tuned <= 0 {
+		return 0, 0, fmt.Errorf("experiments: degenerate tuned time for %v", s)
+	}
+	return baseline, tuned, nil
+}

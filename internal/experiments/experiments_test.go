@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 1} }
+
+func renderOK(t *testing.T, tb *report.Table) {
+	t.Helper()
+	var b strings.Builder
+	if err := tb.WriteText(&b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if len(b.String()) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	results, tb, err := Fig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tb)
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	var above, total int
+	var all []float64
+	for _, r := range results {
+		if r.Speedup <= 0 {
+			t.Fatalf("nonpositive speedup: %+v", r)
+		}
+		total++
+		all = append(all, r.Speedup)
+		if r.Speedup > 1 {
+			above++
+		}
+	}
+	// The headline claim: the dataflow wins broadly (the paper, like us,
+	// sees sub-1 cases at saturating shapes; the geomean must clearly win).
+	if float64(above) < 0.5*float64(total) {
+		t.Errorf("dataflow wins only %d/%d cases", above, total)
+	}
+	if gm := report.GeoMean(all); gm < 1.1 {
+		t.Errorf("geomean speedup %v below 1.1", gm)
+	}
+	// The Winograd dataflow (fused vs library unfused) must win clearly.
+	var wino []float64
+	for _, r := range results {
+		if r.Algorithm == "winograd" {
+			wino = append(wino, r.Speedup)
+		}
+	}
+	if gm := report.GeoMean(wino); gm < 1.2 {
+		t.Errorf("winograd geomean speedup %v below 1.2", gm)
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	results, tb, err := Fig10(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tb)
+	for _, r := range results {
+		if r.Speedup <= 0.5 {
+			t.Errorf("implausible batched speedup: %+v", r)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	res, tb, err := Fig11(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tb)
+	if res.Baseline <= 0 {
+		t.Error("no baseline level")
+	}
+	final := func(c []float64) float64 {
+		if len(c) == 0 {
+			return 0
+		}
+		return c[len(c)-1]
+	}
+	// All methods improve over their starting point, and the tuned results
+	// beat the library baseline.
+	for name, curve := range map[string][]float64{
+		"ate": res.ATE, "sa": res.SA, "ga": res.GA, "random": res.Random,
+	} {
+		if len(curve) == 0 {
+			t.Fatalf("%s: empty curve", name)
+		}
+		if final(curve) < curve[0] {
+			t.Errorf("%s: curve decreased overall", name)
+		}
+	}
+	if final(res.ATE) < res.Baseline {
+		t.Errorf("tuned ATE %v below library %v", final(res.ATE), res.Baseline)
+	}
+	// ATE's final result is at least on par with the other methods.
+	if final(res.ATE) < 0.95*final(res.SA) || final(res.ATE) < 0.95*final(res.Random) {
+		t.Errorf("ATE final %v clearly below competitors (sa=%v rnd=%v)",
+			final(res.ATE), final(res.SA), final(res.Random))
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	rows, tb, err := Table2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tb)
+	for _, r := range rows {
+		if r.SizeATE >= r.SizeTVM {
+			t.Errorf("%s: pruned space %d not smaller than full %d", r.Layer, r.SizeATE, r.SizeTVM)
+		}
+		if r.Ratio <= 0 || r.Ratio >= 1 {
+			t.Errorf("%s: implausible pruning ratio %v", r.Layer, r.Ratio)
+		}
+		if r.GFLOPSATE <= 0 || r.GFLOPSTVM <= 0 {
+			t.Errorf("%s: nonpositive GFLOPS", r.Layer)
+		}
+		// ATE must be competitive with the full-space search.
+		if r.PerfRatio < 0.9 {
+			t.Errorf("%s: ATE perf ratio %v below 0.9", r.Layer, r.PerfRatio)
+		}
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	results, tb, err := Fig12(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tb)
+	for _, r := range results {
+		if r.Speedup <= 0.8 {
+			t.Errorf("%s: tuned dataflow much slower than library: %+v", r.Model, r)
+		}
+		if r.TunedMs <= 0 || r.BaselineMs <= 0 {
+			t.Errorf("%s: degenerate times: %+v", r.Model, r)
+		}
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	results, tb, err := Fig13(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tb)
+	for _, r := range results {
+		if r.Ours <= 0 || r.TVM <= 0 || r.Library <= 0 {
+			t.Fatalf("degenerate GFLOPS: %+v", r)
+		}
+		// Ours must beat the library on every architecture (the consistency
+		// claim of Section 7.4) and at least match the TVM proxy closely.
+		if r.Ours < r.Library {
+			t.Errorf("%s/%s: ours %v below library %v", r.Case, r.Arch, r.Ours, r.Library)
+		}
+		if r.Ours < 0.9*r.TVM {
+			t.Errorf("%s/%s: ours %v well below TVM proxy %v", r.Case, r.Arch, r.Ours, r.TVM)
+		}
+	}
+}
+
+func TestTheory(t *testing.T) {
+	rows, tb, err := Theory(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tb)
+	for _, r := range rows {
+		// Lower bound must hold for every legal schedule.
+		if float64(r.QBelady) < r.Bound {
+			t.Errorf("%v S=%d: greedy Q=%d below bound %v", r.Shape, r.S, r.QBelady, r.Bound)
+		}
+		if float64(r.QLRU) < r.Bound {
+			t.Errorf("%v S=%d: LRU Q=%d below bound %v", r.Shape, r.S, r.QLRU, r.Bound)
+		}
+		if r.QOptimal >= 0 {
+			if float64(r.QOptimal) < r.Bound {
+				t.Errorf("%v S=%d: optimal Q=%d below bound %v", r.Shape, r.S, r.QOptimal, r.Bound)
+			}
+			if r.QOptimal > r.QBelady {
+				t.Errorf("%v S=%d: optimal %d above greedy %d", r.Shape, r.S, r.QOptimal, r.QBelady)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/memsim"
+	"repro/internal/models"
+	"repro/internal/report"
+)
+
+// Fig12Result is one bar pair of Figure 12: simulated end-to-end convolution
+// time of a CNN under our tuned dataflows and under the library baseline.
+type Fig12Result struct {
+	Model      string
+	TunedMs    float64
+	BaselineMs float64
+	Speedup    float64
+}
+
+// Fig12 reproduces Figure 12 on the V100 model: for each CNN the total
+// convolution-layer inference time under the library baseline (best of its
+// algorithms per layer) and under our auto-tuned dataflows (best of tuned
+// direct / tuned Winograd per layer).
+func Fig12(opts Options) ([]Fig12Result, *report.Table, error) {
+	arch := memsim.V100
+	list := models.Figure12Models()
+	if opts.Quick {
+		list = list[:2]
+	}
+	budget := opts.budget(48, 12)
+
+	var results []Fig12Result
+	for _, m := range list {
+		var base, tuned float64
+		for _, layer := range m.Layers {
+			b, tu, err := bestLayerSeconds(arch, layer.Shape, budget, opts.seed())
+			if err != nil {
+				return nil, nil, err
+			}
+			base += b * float64(layer.Repeat)
+			tuned += tu * float64(layer.Repeat)
+		}
+		results = append(results, Fig12Result{
+			Model: m.Name, TunedMs: tuned * 1e3, BaselineMs: base * 1e3,
+			Speedup: base / tuned,
+		})
+	}
+	t := report.New("Figure 12: end-to-end convolution time on CNN models (V100 model)",
+		"model", "tuned (ms)", "library (ms)", "speedup")
+	for _, r := range results {
+		t.AddRowF(r.Model, r.TunedMs, r.BaselineMs, r.Speedup)
+	}
+	return results, t, nil
+}

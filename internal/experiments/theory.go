@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/bounds"
+	"repro/internal/dag"
+	"repro/internal/pebble"
+	"repro/internal/report"
+	"repro/internal/shapes"
+)
+
+// TheoryRow validates the lower-bound theory on one tiny convolution: a
+// really-played pebble game's I/O versus the Theorem 4.12 (direct) or
+// Theorem 4.20 (Winograd) bound.
+type TheoryRow struct {
+	Algorithm string // "direct" or "winograd"
+	Shape     shapes.ConvShape
+	S         int
+	QOptimal  int // exact minimum I/O (−1 if the DAG is too large to solve)
+	QBelady   int // greedy schedule I/O, Belady eviction
+	QLRU      int // greedy schedule I/O, LRU eviction
+	Bound     float64
+}
+
+// Theory plays the red–blue pebble game on small direct-convolution DAGs and
+// compares measured I/O against the paper's lower bound. Every row must
+// satisfy Bound ≤ QOptimal ≤ QBelady ≤ QLRU (up to eviction-policy noise in
+// the last inequality, which is reported, not enforced).
+func Theory(opts Options) ([]TheoryRow, *report.Table, error) {
+	type cse struct {
+		s     shapes.ConvShape
+		sizes []int
+		exact bool
+	}
+	cases := []cse{
+		{shapes.ConvShape{Batch: 1, Cin: 1, Hin: 3, Win: 3, Cout: 1, Hker: 2, Wker: 2, Strid: 2}, []int{3, 4}, true},
+		{shapes.ConvShape{Batch: 1, Cin: 2, Hin: 4, Win: 4, Cout: 2, Hker: 2, Wker: 2, Strid: 1}, []int{4, 8, 16}, false},
+		{shapes.ConvShape{Batch: 1, Cin: 2, Hin: 6, Win: 6, Cout: 3, Hker: 3, Wker: 3, Strid: 1}, []int{8, 16, 32}, false},
+	}
+	if opts.Quick {
+		cases = cases[:2]
+	}
+
+	var rows []TheoryRow
+	for _, c := range cases {
+		dc, err := dag.BuildDirectConv(c.s)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, s := range c.sizes {
+			bel, err := pebble.Greedy(dc.Graph, s, pebble.Belady)
+			if err != nil {
+				return nil, nil, err
+			}
+			lru, err := pebble.Greedy(dc.Graph, s, pebble.LRU)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := TheoryRow{
+				Algorithm: "direct", Shape: c.s, S: s,
+				QOptimal: -1,
+				QBelady:  bel.IO(),
+				QLRU:     lru.IO(),
+				Bound:    bounds.DirectLowerBound(c.s, s),
+			}
+			if c.exact && dc.NumVertices() <= pebble.MaxOptimalVertices {
+				q, err := pebble.Optimal(dc.Graph, s)
+				if err != nil {
+					return nil, nil, err
+				}
+				row.QOptimal = q
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	// Winograd DAGs (Theorem 4.20): play on the recomputation-allowed DAG
+	// that the lemma's vertex count describes.
+	winoShapes := []shapes.ConvShape{
+		{Batch: 1, Cin: 2, Hin: 4, Win: 4, Cout: 2, Hker: 3, Wker: 3, Strid: 1},
+	}
+	if !opts.Quick {
+		winoShapes = append(winoShapes,
+			shapes.ConvShape{Batch: 1, Cin: 2, Hin: 6, Win: 6, Cout: 2, Hker: 3, Wker: 3, Strid: 1})
+	}
+	for _, ws := range winoShapes {
+		wg, err := dag.BuildWinogradConv(ws, 2, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, s := range []int{4, 16, 64} {
+			bel, err := pebble.Greedy(wg.Graph, s, pebble.Belady)
+			if err != nil {
+				return nil, nil, err
+			}
+			lru, err := pebble.Greedy(wg.Graph, s, pebble.LRU)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, TheoryRow{
+				Algorithm: "winograd", Shape: ws, S: s,
+				QOptimal: -1,
+				QBelady:  bel.IO(),
+				QLRU:     lru.IO(),
+				Bound:    bounds.WinogradLowerBound(ws, 2, s),
+			})
+		}
+	}
+
+	t := report.New("Theory check: pebble-game I/O vs Theorems 4.12/4.20 (conv DAGs)",
+		"algorithm", "shape", "S", "Q optimal", "Q belady", "Q lru", "lower bound")
+	for _, r := range rows {
+		opt := "-"
+		if r.QOptimal >= 0 {
+			opt = strconv.Itoa(r.QOptimal)
+		}
+		t.AddRowF(r.Algorithm, r.Shape.String(), r.S, opt, r.QBelady, r.QLRU, r.Bound)
+	}
+	return rows, t, nil
+}

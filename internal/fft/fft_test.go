@@ -1,0 +1,201 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// naiveDFT is the O(n²) reference.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k*j) / float64(n)
+			out[k] += x[j] * cmplx.Exp(complex(0, angle))
+		}
+	}
+	return out
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randComplex(rng, n)
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		if e := maxErr(got, want); e > 1e-9 {
+			t.Errorf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{4, 64, 1024} {
+		p, _ := NewPlan(n)
+		x := randComplex(rng, n)
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		if e := maxErr(x, y); e > 1e-10 {
+			t.Errorf("n=%d: round trip error %g", n, e)
+		}
+	}
+}
+
+// Parseval: sum |x|^2 == (1/n) sum |X|^2.
+func TestParsevalProperty(t *testing.T) {
+	p, _ := NewPlan(64)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := randComplex(rng, 64)
+		var tx float64
+		for _, v := range x {
+			tx += real(v)*real(v) + imag(v)*imag(v)
+		}
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		var ty float64
+		for _, v := range y {
+			ty += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(tx-ty/64) < 1e-9*math.Max(tx, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Convolution theorem: IFFT(FFT(a) .* FFT(b)) equals circular convolution.
+func TestConvolutionTheorem(t *testing.T) {
+	const n = 32
+	rng := rand.New(rand.NewSource(3))
+	p, _ := NewPlan(n)
+	a := randComplex(rng, n)
+	b := randComplex(rng, n)
+	want := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want[i] += a[j] * b[(i-j+n)%n]
+		}
+	}
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	p.Forward(fa)
+	p.Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	p.Inverse(fa)
+	if e := maxErr(fa, want); e > 1e-9 {
+		t.Errorf("convolution theorem error %g", e)
+	}
+}
+
+func Test2DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := NewPlan2D(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randComplex(rng, 16*8)
+	y := append([]complex128(nil), x...)
+	p.Forward(y)
+	p.Inverse(y)
+	if e := maxErr(x, y); e > 1e-10 {
+		t.Errorf("2D round trip error %g", e)
+	}
+}
+
+// 2-D transform of a separable signal equals the product of 1-D transforms.
+func Test2DSeparable(t *testing.T) {
+	const r, c = 8, 16
+	rng := rand.New(rand.NewSource(5))
+	rowSig := randComplex(rng, c)
+	colSig := randComplex(rng, r)
+	x := make([]complex128, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			x[i*c+j] = colSig[i] * rowSig[j]
+		}
+	}
+	p2, _ := NewPlan2D(r, c)
+	p2.Forward(x)
+	pr, _ := NewPlan(r)
+	pc, _ := NewPlan(c)
+	fr := append([]complex128(nil), colSig...)
+	fc := append([]complex128(nil), rowSig...)
+	pr.Forward(fr)
+	pc.Forward(fc)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			want := fr[i] * fc[j]
+			if cmplx.Abs(x[i*c+j]-want) > 1e-9 {
+				t.Fatalf("separability violated at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewPlanRejects(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 12, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("length %d accepted", n)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 16: 16, 17: 32, 1000: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d)=%d want %d", in, got, want)
+		}
+	}
+}
+
+func TestFlopsPerTransform(t *testing.T) {
+	if FlopsPerTransform(1) != 0 {
+		t.Error("n=1 should cost nothing")
+	}
+	if got := FlopsPerTransform(8); got != 5*8*3 {
+		t.Errorf("FlopsPerTransform(8)=%d want 120", got)
+	}
+}
+
+func TestForwardPanicsOnWrongLength(t *testing.T) {
+	p, _ := NewPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Forward(make([]complex128, 4))
+}

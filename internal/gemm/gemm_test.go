@@ -1,0 +1,141 @@
+package gemm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, n int) []float32 {
+	m := make([]float32, n)
+	for i := range m {
+		m[i] = rng.Float32()*2 - 1
+	}
+	return m
+}
+
+func maxDiff(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dims := []struct{ m, k, n, bs int }{
+		{1, 1, 1, 4}, {3, 5, 7, 2}, {16, 16, 16, 8}, {17, 33, 9, 8},
+		{64, 64, 64, 0}, {65, 63, 67, 16}, {5, 128, 5, 32},
+	}
+	for _, d := range dims {
+		a := randMat(rng, d.m*d.k)
+		b := randMat(rng, d.k*d.n)
+		want := make([]float32, d.m*d.n)
+		got := make([]float32, d.m*d.n)
+		Naive(want, a, b, d.m, d.k, d.n)
+		Blocked(got, a, b, d.m, d.k, d.n, d.bs)
+		if diff := maxDiff(got, want); diff > 1e-4 {
+			t.Errorf("blocked m=%d k=%d n=%d bs=%d: max diff %g", d.m, d.k, d.n, d.bs, diff)
+		}
+	}
+}
+
+func TestParallelMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := []struct{ m, k, n, workers int }{
+		{1, 4, 4, 4}, {33, 17, 21, 3}, {64, 32, 48, 0}, {7, 7, 7, 16},
+	}
+	for _, d := range dims {
+		a := randMat(rng, d.m*d.k)
+		b := randMat(rng, d.k*d.n)
+		want := make([]float32, d.m*d.n)
+		got := make([]float32, d.m*d.n)
+		Naive(want, a, b, d.m, d.k, d.n)
+		Parallel(got, a, b, d.m, d.k, d.n, 16, d.workers)
+		if diff := maxDiff(got, want); diff > 1e-4 {
+			t.Errorf("parallel m=%d k=%d n=%d w=%d: max diff %g", d.m, d.k, d.n, d.workers, diff)
+		}
+	}
+}
+
+// Blocked must overwrite C, not accumulate into stale contents.
+func TestBlockedOverwrites(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{5, 6, 7, 8}
+	c := []float32{100, 100, 100, 100}
+	Blocked(c, a, b, 2, 2, 2, 1)
+	want := make([]float32, 4)
+	Naive(want, a, b, 2, 2, 2)
+	if diff := maxDiff(c, want); diff != 0 {
+		t.Errorf("stale C leaked into result: %v want %v", c, want)
+	}
+}
+
+// Property: (A·B)·x == A·(B·x) for random small matrices (associativity of
+// the linear maps computed by Blocked).
+func TestBlockedAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 4+int(seed%3+3)%3, 5, 6
+		a := randMat(rng, m*k)
+		b := randMat(rng, k*n)
+		x := randMat(rng, n*1)
+		ab := make([]float32, m*n)
+		Blocked(ab, a, b, m, k, n, 2)
+		abx := make([]float32, m)
+		Blocked(abx, ab, x, m, n, 1, 2)
+		bx := make([]float32, k)
+		Blocked(bx, b, x, k, n, 1, 2)
+		abx2 := make([]float32, m)
+		Blocked(abx2, a, bx, m, k, 1, 2)
+		return maxDiff(abx, abx2) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnBadDims(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero dim":     func() { Naive(make([]float32, 1), make([]float32, 1), make([]float32, 1), 0, 1, 1) },
+		"short buffer": func() { Blocked(make([]float32, 1), make([]float32, 1), make([]float32, 1), 2, 2, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkBlocked128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	x := randMat(rng, n*n)
+	y := randMat(rng, n*n)
+	c := make([]float32, n*n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Blocked(c, x, y, n, n, n, 0)
+	}
+}
+
+func BenchmarkParallel256(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	n := 256
+	x := randMat(rng, n*n)
+	y := randMat(rng, n*n)
+	c := make([]float32, n*n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parallel(c, x, y, n, n, n, 0, 0)
+	}
+}

@@ -1,0 +1,130 @@
+// Package memsim simulates the two-level memory hierarchy of a GPU-like
+// accelerator. It substitutes for the paper's physical GPUs: convolution
+// implementations actually copy data between "global memory" (ordinary
+// slices) and per-block "shared memory" buffers through counting helpers, so
+// every off-chip float moved is accounted, and a deterministic
+// roofline-plus-occupancy model converts the counts into a simulated runtime.
+// The model makes "less off-chip I/O ⇒ faster" hold with realistic
+// constants, which is the property the paper's evaluation depends on.
+package memsim
+
+import "fmt"
+
+// Arch describes one simulated accelerator. Capacities are in float32
+// elements, not bytes, because the pebble-game analysis counts elements.
+type Arch struct {
+	Name string
+	// NumSMs is the number of streaming multiprocessors (compute units).
+	NumSMs int
+	// SharedPerSM is the shared-memory (LDS) capacity per SM in floats.
+	SharedPerSM int
+	// MaxBlocksPerSM limits how many thread blocks an SM can host.
+	MaxBlocksPerSM int
+	// MaxThreadsPerSM limits resident threads per SM.
+	MaxThreadsPerSM int
+	// ThreadsForPeak is how many resident threads per SM are needed to
+	// reach peak arithmetic throughput (latency hiding).
+	ThreadsForPeak int
+	// PeakGFLOPS is the peak fp32 arithmetic rate in GFLOP/s.
+	PeakGFLOPS float64
+	// BandwidthGBs is the off-chip memory bandwidth in GB/s.
+	BandwidthGBs float64
+	// SharedBandwidthGBs is the aggregate on-chip shared-memory bandwidth.
+	SharedBandwidthGBs float64
+	// RegisterTileReuse is how many times each staged shared-memory operand
+	// is reused from registers before being re-read (register tiling). The
+	// time model divides shared traffic by it; counts stay raw so I/O
+	// accounting is implementation-exact.
+	RegisterTileReuse float64
+	// LaunchOverhead is the fixed kernel-launch cost in seconds.
+	LaunchOverhead float64
+	// WaveLatency is the per-wave scheduling cost in seconds: blocks are
+	// dispatched in waves of (resident blocks per device).
+	WaveLatency float64
+}
+
+// Validate reports whether the architecture parameters are usable.
+func (a Arch) Validate() error {
+	switch {
+	case a.NumSMs < 1 || a.SharedPerSM < 1:
+		return fmt.Errorf("memsim: %s: SMs/shared must be positive", a.Name)
+	case a.MaxBlocksPerSM < 1 || a.MaxThreadsPerSM < 1 || a.ThreadsForPeak < 1:
+		return fmt.Errorf("memsim: %s: occupancy limits must be positive", a.Name)
+	case a.PeakGFLOPS <= 0 || a.BandwidthGBs <= 0 || a.SharedBandwidthGBs <= 0:
+		return fmt.Errorf("memsim: %s: rates must be positive", a.Name)
+	case a.LaunchOverhead < 0 || a.WaveLatency < 0:
+		return fmt.Errorf("memsim: %s: overheads must be nonnegative", a.Name)
+	}
+	return nil
+}
+
+// The architecture catalog mirrors the paper's evaluation platforms
+// (Section 7): NVIDIA GTX 1080 Ti (Pascal), GTX Titan X (Maxwell), Tesla
+// V100 (Volta) and AMD GFX906 (Vega 20). Shared-memory sizes, SM counts,
+// peak rates and bandwidths follow the public datasheets; the latency-hiding
+// and overhead constants are common-sense values that only affect absolute
+// numbers, not orderings.
+var (
+	GTX1080Ti = Arch{
+		Name: "1080Ti", NumSMs: 28, SharedPerSM: 96 * 1024 / 4,
+		MaxBlocksPerSM: 32, MaxThreadsPerSM: 2048, ThreadsForPeak: 1024,
+		PeakGFLOPS: 11340, BandwidthGBs: 484, SharedBandwidthGBs: 5300, RegisterTileReuse: 16,
+		LaunchOverhead: 4e-6, WaveLatency: 1.2e-6,
+	}
+	TitanX = Arch{
+		Name: "TitanX", NumSMs: 24, SharedPerSM: 96 * 1024 / 4,
+		MaxBlocksPerSM: 32, MaxThreadsPerSM: 2048, ThreadsForPeak: 1024,
+		PeakGFLOPS: 6144, BandwidthGBs: 336, SharedBandwidthGBs: 3400, RegisterTileReuse: 16,
+		LaunchOverhead: 4e-6, WaveLatency: 1.4e-6,
+	}
+	V100 = Arch{
+		Name: "V100", NumSMs: 80, SharedPerSM: 96 * 1024 / 4,
+		MaxBlocksPerSM: 32, MaxThreadsPerSM: 2048, ThreadsForPeak: 1024,
+		PeakGFLOPS: 14900, BandwidthGBs: 900, SharedBandwidthGBs: 15700, RegisterTileReuse: 16,
+		LaunchOverhead: 3e-6, WaveLatency: 1.0e-6,
+	}
+	GFX906 = Arch{
+		Name: "gfx906", NumSMs: 60, SharedPerSM: 64 * 1024 / 4,
+		MaxBlocksPerSM: 16, MaxThreadsPerSM: 2560, ThreadsForPeak: 1024,
+		PeakGFLOPS: 13440, BandwidthGBs: 1024, SharedBandwidthGBs: 9000, RegisterTileReuse: 16,
+		LaunchOverhead: 5e-6, WaveLatency: 1.5e-6,
+	}
+)
+
+// Catalog lists all built-in architectures.
+var Catalog = []Arch{GTX1080Ti, TitanX, V100, GFX906}
+
+// ByName returns the catalog architecture with the given name.
+func ByName(name string) (Arch, error) {
+	for _, a := range Catalog {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Arch{}, fmt.Errorf("memsim: unknown architecture %q", name)
+}
+
+// MaxSharedPerBlock is the largest shared-memory allocation (floats) a
+// single block may use while still allowing two resident blocks per SM, the
+// paper's Sb <= Ssm/2 constraint from Table 1.
+func (a Arch) MaxSharedPerBlock() int { return a.SharedPerSM / 2 }
+
+// ResidentBlocks returns how many blocks fit on the whole device at once
+// given each block's shared-memory footprint and thread count.
+func (a Arch) ResidentBlocks(sharedPerBlock, threadsPerBlock int) int {
+	perSM := a.MaxBlocksPerSM
+	if sharedPerBlock > 0 {
+		if byShared := a.SharedPerSM / sharedPerBlock; byShared < perSM {
+			perSM = byShared
+		}
+	}
+	if threadsPerBlock > 0 {
+		if byThreads := a.MaxThreadsPerSM / threadsPerBlock; byThreads < perSM {
+			perSM = byThreads
+		}
+	}
+	if perSM < 1 {
+		perSM = 0
+	}
+	return perSM * a.NumSMs
+}

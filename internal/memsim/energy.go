@@ -1,0 +1,56 @@
+package memsim
+
+// The paper's motivation (Section 1) is that "frequent data movement in the
+// memory hierarchy commonly dominates the energy consumption in convolution
+// operations". This file makes that measurable: an energy model over the
+// same counts the time model consumes, with per-access costs in the ratios
+// the accelerator literature reports (a DRAM access costs ~two orders of
+// magnitude more than an on-chip access, which costs more than an FMA).
+
+// EnergyModel holds per-operation energy costs in picojoules.
+type EnergyModel struct {
+	// DRAMPerFloat is the off-chip access cost (pJ per 4-byte element).
+	DRAMPerFloat float64
+	// SharedPerFloat is the on-chip shared-memory access cost.
+	SharedPerFloat float64
+	// PerFlop is the arithmetic cost.
+	PerFlop float64
+}
+
+// DefaultEnergy reflects commonly cited 28-16nm figures: ~80 pJ per DRAM
+// float (20 pJ/byte), ~1.5 pJ per shared-memory float, ~1 pJ per flop.
+var DefaultEnergy = EnergyModel{DRAMPerFloat: 80, SharedPerFloat: 1.5, PerFlop: 1}
+
+// EnergyBreakdown splits a kernel's energy by source, in joules.
+type EnergyBreakdown struct {
+	DRAM    float64
+	Shared  float64
+	Compute float64
+}
+
+// Total is the summed energy in joules.
+func (e EnergyBreakdown) Total() float64 { return e.DRAM + e.Shared + e.Compute }
+
+// DRAMShare is the fraction of energy spent on off-chip movement — the
+// quantity the paper's dataflow designs minimize.
+func (e EnergyBreakdown) DRAMShare() float64 {
+	t := e.Total()
+	if t == 0 {
+		return 0
+	}
+	return e.DRAM / t
+}
+
+// Energy evaluates the model on measured counts.
+func (m EnergyModel) Energy(c Counts) EnergyBreakdown {
+	const pJ = 1e-12
+	return EnergyBreakdown{
+		DRAM:    float64(c.GlobalIO()) * m.DRAMPerFloat * pJ,
+		Shared:  float64(c.SharedIO()) * m.SharedPerFloat * pJ,
+		Compute: float64(c.Flops) * m.PerFlop * pJ,
+	}
+}
+
+// Energy applies the default model; a convenience for callers that do not
+// tune the coefficients.
+func (a Arch) Energy(c Counts) EnergyBreakdown { return DefaultEnergy.Energy(c) }

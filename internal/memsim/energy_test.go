@@ -1,0 +1,51 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyBreakdown(t *testing.T) {
+	c := Counts{GlobalLoads: 1000, GlobalStores: 500, SharedLoads: 4000, SharedStores: 2000, Flops: 10000}
+	e := DefaultEnergy.Energy(c)
+	wantDRAM := 1500 * 80e-12
+	wantShared := 6000 * 1.5e-12
+	wantCompute := 10000 * 1e-12
+	if math.Abs(e.DRAM-wantDRAM) > 1e-18 {
+		t.Errorf("DRAM=%v want %v", e.DRAM, wantDRAM)
+	}
+	if math.Abs(e.Shared-wantShared) > 1e-18 {
+		t.Errorf("Shared=%v want %v", e.Shared, wantShared)
+	}
+	if math.Abs(e.Compute-wantCompute) > 1e-18 {
+		t.Errorf("Compute=%v want %v", e.Compute, wantCompute)
+	}
+	if math.Abs(e.Total()-(wantDRAM+wantShared+wantCompute)) > 1e-18 {
+		t.Errorf("Total=%v", e.Total())
+	}
+	if s := e.DRAMShare(); s <= 0 || s >= 1 {
+		t.Errorf("DRAMShare=%v out of (0,1)", s)
+	}
+}
+
+func TestEnergyZeroCounts(t *testing.T) {
+	e := V100.Energy(Counts{})
+	if e.Total() != 0 || e.DRAMShare() != 0 {
+		t.Errorf("zero counts gave energy %v share %v", e.Total(), e.DRAMShare())
+	}
+}
+
+// The paper's motivating claim: for a low-reuse kernel, off-chip movement
+// dominates energy; high-reuse kernels shift the balance toward compute.
+func TestEnergyDataMovementDominatesLowReuse(t *testing.T) {
+	// Naive-style: 2 DRAM accesses per 2 flops.
+	lowReuse := Counts{GlobalLoads: 1 << 20, Flops: 1 << 20}
+	if s := V100.Energy(lowReuse).DRAMShare(); s < 0.9 {
+		t.Errorf("low-reuse DRAM share %v, want > 0.9", s)
+	}
+	// Tiled-style: 1 DRAM access per 300 flops (plus shared traffic).
+	highReuse := Counts{GlobalLoads: 1 << 12, SharedLoads: 300 << 12, Flops: 300 << 12}
+	if s := V100.Energy(highReuse).DRAMShare(); s > 0.5 {
+		t.Errorf("high-reuse DRAM share %v, want < 0.5", s)
+	}
+}

@@ -1,0 +1,88 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bottleneck names the roofline term that dominated a simulated kernel.
+type Bottleneck string
+
+// The possible dominating terms of the time model.
+const (
+	GlobalBound  Bottleneck = "global-memory"
+	SharedBound  Bottleneck = "shared-memory"
+	ComputeBound Bottleneck = "compute"
+	LaunchBound  Bottleneck = "launch-overhead"
+	Invalid      Bottleneck = "invalid-launch"
+)
+
+// Breakdown explains where a kernel's simulated time went.
+type Breakdown struct {
+	Total    float64 // seconds
+	Global   float64 // off-chip transfer term
+	Shared   float64 // on-chip transfer term
+	Compute  float64 // arithmetic term
+	Overhead float64 // launch + wave scheduling
+	Bound    Bottleneck
+	// Occupancy is the attained latency-hiding fraction in [0, 1].
+	Occupancy float64
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("%.3gs total: %s-bound (global %.3gs, shared %.3gs, compute %.3gs, overhead %.3gs, occupancy %.0f%%)",
+		b.Total, b.Bound, b.Global, b.Shared, b.Compute, b.Overhead, 100*b.Occupancy)
+}
+
+// Explain recomputes the time model's individual terms for a measured
+// kernel, identifying the binding constraint — the diagnostic behind "why is
+// this configuration slow".
+func (a Arch) Explain(c Counts, l Launch) Breakdown {
+	if l.Blocks < 1 || l.ThreadsPerBlock < 1 {
+		return Breakdown{Total: math.Inf(1), Bound: Invalid}
+	}
+	resident := a.ResidentBlocks(l.SharedPerBlock, l.ThreadsPerBlock)
+	if resident == 0 {
+		return Breakdown{Total: math.Inf(1), Bound: Invalid}
+	}
+	concurrent := min(l.Blocks, resident)
+	activePerSM := float64(concurrent*l.ThreadsPerBlock) / float64(a.NumSMs)
+	hide := math.Min(1, activePerSM/float64(a.ThreadsForPeak))
+	if l.ThreadsPerBlock < 32 {
+		hide *= float64(l.ThreadsPerBlock) / 32
+	}
+	eff := l.BandwidthEff
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	regReuse := a.RegisterTileReuse
+	if regReuse < 1 {
+		regReuse = 1
+	}
+	const bytesPerFloat = 4
+	b := Breakdown{Occupancy: hide}
+	b.Global = float64(c.GlobalIO()) * bytesPerFloat / (a.BandwidthGBs * 1e9 * eff)
+	b.Shared = float64(c.SharedIO()) * bytesPerFloat /
+		(a.SharedBandwidthGBs * 1e9 * regReuse * math.Max(hide, 0.25))
+	if hide > 0 {
+		b.Compute = float64(c.Flops) / (a.PeakGFLOPS * 1e9 * hide)
+	} else {
+		b.Compute = math.Inf(1)
+	}
+	waves := (l.Blocks + resident - 1) / resident
+	b.Overhead = a.LaunchOverhead + float64(waves)*a.WaveLatency
+	b.Total = b.Overhead + math.Max(b.Global, math.Max(b.Shared, b.Compute))
+
+	b.Bound = ComputeBound
+	top := b.Compute
+	if b.Global > top {
+		b.Bound, top = GlobalBound, b.Global
+	}
+	if b.Shared > top {
+		b.Bound, top = SharedBound, b.Shared
+	}
+	if b.Overhead > top {
+		b.Bound = LaunchBound
+	}
+	return b
+}

@@ -1,0 +1,66 @@
+package memsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainIdentifiesBottleneck(t *testing.T) {
+	a := V100
+	l := Launch{Blocks: 4096, ThreadsPerBlock: 256, SharedPerBlock: 4096}
+	cases := []struct {
+		name   string
+		counts Counts
+		want   Bottleneck
+	}{
+		{"global", Counts{GlobalLoads: 1 << 32, Flops: 1}, GlobalBound},
+		{"compute", Counts{GlobalLoads: 1, Flops: 1 << 44}, ComputeBound},
+		{"shared", Counts{SharedLoads: 1 << 44, Flops: 1}, SharedBound},
+		{"launch", Counts{GlobalLoads: 1, Flops: 1}, LaunchBound},
+	}
+	for _, c := range cases {
+		b := a.Explain(c.counts, l)
+		if b.Bound != c.want {
+			t.Errorf("%s: bound=%s want %s (%v)", c.name, b.Bound, c.want, b)
+		}
+		if b.Total <= 0 {
+			t.Errorf("%s: nonpositive total", c.name)
+		}
+	}
+}
+
+func TestExplainAgreesWithTime(t *testing.T) {
+	a := GTX1080Ti
+	l := Launch{Blocks: 777, ThreadsPerBlock: 128, SharedPerBlock: 8192, BandwidthEff: 0.85}
+	c := Counts{GlobalLoads: 5 << 20, GlobalStores: 1 << 18, SharedLoads: 9 << 22, Flops: 3 << 28}
+	b := a.Explain(c, l)
+	if d := math.Abs(b.Total - a.Time(c, l)); d > 1e-15 {
+		t.Errorf("Explain total %v != Time %v", b.Total, a.Time(c, l))
+	}
+	if b.Occupancy <= 0 || b.Occupancy > 1 {
+		t.Errorf("occupancy %v out of range", b.Occupancy)
+	}
+}
+
+func TestExplainInvalidLaunch(t *testing.T) {
+	a := V100
+	b := a.Explain(Counts{Flops: 1}, Launch{})
+	if b.Bound != Invalid || !math.IsInf(b.Total, 1) {
+		t.Errorf("invalid launch not flagged: %v", b)
+	}
+	huge := Launch{Blocks: 4, ThreadsPerBlock: 64, SharedPerBlock: a.SharedPerSM * 2}
+	if got := a.Explain(Counts{Flops: 1}, huge); got.Bound != Invalid {
+		t.Errorf("unschedulable launch not flagged: %v", got)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	a := V100
+	b := a.Explain(Counts{GlobalLoads: 1 << 24, Flops: 1 << 30},
+		Launch{Blocks: 2048, ThreadsPerBlock: 256, SharedPerBlock: 2048})
+	s := b.String()
+	if !strings.Contains(s, "bound") || !strings.Contains(s, "occupancy") {
+		t.Errorf("uninformative string: %q", s)
+	}
+}

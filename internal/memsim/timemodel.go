@@ -1,0 +1,89 @@
+package memsim
+
+import "math"
+
+// Launch describes the execution configuration of one simulated kernel,
+// mirroring the tunable parameters of the paper's Table 1.
+type Launch struct {
+	// Blocks is the number of thread blocks in the grid.
+	Blocks int
+	// ThreadsPerBlock is Nxt·Nyt·Nzt.
+	ThreadsPerBlock int
+	// SharedPerBlock is the shared memory Sb allocated to each block, in
+	// floats.
+	SharedPerBlock int
+	// BandwidthEff in (0, 1] scales the off-chip bandwidth actually
+	// attained, modeling access-pattern (layout/coalescing) efficiency.
+	// Zero means 1.
+	BandwidthEff float64
+}
+
+// Time converts measured counts plus a launch configuration into a
+// deterministic simulated runtime in seconds:
+//
+//	t = launch + waves·waveLatency + max(t_global, t_shared, t_compute)
+//
+// where t_global is off-chip traffic over bandwidth, t_shared is on-chip
+// traffic over aggregate shared bandwidth scaled by occupancy, and t_compute
+// is flops over peak scaled by how well the launch hides latency
+// (resident threads vs ThreadsForPeak per SM). The model is a roofline: its
+// purpose is to make data movement and occupancy — the two quantities the
+// paper tunes — determine performance.
+func (a Arch) Time(c Counts, l Launch) float64 {
+	if l.Blocks < 1 || l.ThreadsPerBlock < 1 {
+		return math.Inf(1)
+	}
+	resident := a.ResidentBlocks(l.SharedPerBlock, l.ThreadsPerBlock)
+	if resident == 0 {
+		return math.Inf(1) // block does not fit on an SM
+	}
+	concurrent := min(l.Blocks, resident)
+
+	// Latency hiding: fraction of peak compute reachable with the resident
+	// thread count.
+	activePerSM := float64(concurrent*l.ThreadsPerBlock) / float64(a.NumSMs)
+	hide := math.Min(1, activePerSM/float64(a.ThreadsForPeak))
+	// Very small blocks also pay a scheduling-efficiency penalty.
+	if l.ThreadsPerBlock < 32 {
+		hide *= float64(l.ThreadsPerBlock) / 32
+	}
+	if hide <= 0 {
+		return math.Inf(1)
+	}
+
+	eff := l.BandwidthEff
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	regReuse := a.RegisterTileReuse
+	if regReuse < 1 {
+		regReuse = 1
+	}
+	const bytesPerFloat = 4
+	tGlobal := float64(c.GlobalIO()) * bytesPerFloat / (a.BandwidthGBs * 1e9 * eff)
+	tShared := float64(c.SharedIO()) * bytesPerFloat /
+		(a.SharedBandwidthGBs * 1e9 * regReuse * math.Max(hide, 0.25))
+	tCompute := float64(c.Flops) / (a.PeakGFLOPS * 1e9 * hide)
+
+	waves := (l.Blocks + resident - 1) / resident
+	return a.LaunchOverhead + float64(waves)*a.WaveLatency +
+		math.Max(tGlobal, math.Max(tShared, tCompute))
+}
+
+// GFLOPS returns the attained arithmetic rate of a measured kernel under the
+// time model, the metric reported by the paper's Figures 11 and 13 and
+// Table 2.
+func (a Arch) GFLOPS(c Counts, l Launch) float64 {
+	t := a.Time(c, l)
+	if t <= 0 || math.IsInf(t, 1) {
+		return 0
+	}
+	return float64(c.Flops) / t / 1e9
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/shapes"
+)
+
+// Grouped convolutions (including the depthwise layers of MobileNet, one of
+// the architectures the paper's introduction motivates) split the channels
+// into G independent convolutions of Cin/G -> Cout/G channels. For the
+// simulator this is exactly equivalent to batching: G independent small
+// convolutions launched together. EffectiveShape folds the groups into the
+// batch dimension, which preserves I/O volume, flop count and block-level
+// parallelism — the three quantities the time model consumes.
+
+// GroupedLayer is a convolution layer with channel groups.
+type GroupedLayer struct {
+	Name   string
+	Shape  shapes.ConvShape // full-layer shape (total channels)
+	Groups int
+	Repeat int
+}
+
+// Validate checks divisibility and the underlying shape.
+func (l GroupedLayer) Validate() error {
+	if l.Groups < 1 {
+		return fmt.Errorf("models: %s: groups %d < 1", l.Name, l.Groups)
+	}
+	if l.Shape.Cin%l.Groups != 0 || l.Shape.Cout%l.Groups != 0 {
+		return fmt.Errorf("models: %s: channels (%d,%d) not divisible by %d groups",
+			l.Name, l.Shape.Cin, l.Shape.Cout, l.Groups)
+	}
+	if l.Repeat < 1 {
+		return fmt.Errorf("models: %s: repeat %d < 1", l.Name, l.Repeat)
+	}
+	return l.EffectiveShape().Validate()
+}
+
+// EffectiveShape returns the batch-folded equivalent: G groups of a
+// (Cin/G -> Cout/G) convolution become G batch entries of that small
+// convolution in a single launch.
+func (l GroupedLayer) EffectiveShape() shapes.ConvShape {
+	s := l.Shape
+	s.Batch = s.Batch * l.Groups
+	s.Cin /= l.Groups
+	s.Cout /= l.Groups
+	return s
+}
+
+// FLOPs of the grouped layer (1/G of the ungrouped layer's).
+func (l GroupedLayer) FLOPs() int64 {
+	return l.EffectiveShape().FLOPs() * int64(l.Repeat)
+}
+
+// GroupedModel is a named list of grouped layers (Groups == 1 entries are
+// ordinary convolutions).
+type GroupedModel struct {
+	Name   string
+	Layers []GroupedLayer
+}
+
+// Validate checks every layer.
+func (m GroupedModel) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("models: %s has no layers", m.Name)
+	}
+	for _, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalFLOPs sums over all layers.
+func (m GroupedModel) TotalFLOPs() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.FLOPs()
+	}
+	return t
+}
+
+// MobileNetV1 returns the convolution layers of MobileNet v1 (width 1.0):
+// a strided stem plus thirteen depthwise-separable blocks, each a depthwise
+// 3×3 (Groups = channels) followed by a pointwise 1×1.
+func MobileNetV1() GroupedModel {
+	plain := func(name string, cin, hw, cout, k, stride, pad, repeat int) GroupedLayer {
+		return GroupedLayer{Name: name, Shape: conv(cin, hw, cout, k, stride, pad), Groups: 1, Repeat: repeat}
+	}
+	dw := func(name string, ch, hw, stride, repeat int) GroupedLayer {
+		return GroupedLayer{Name: name, Shape: conv(ch, hw, ch, 3, stride, 1), Groups: ch, Repeat: repeat}
+	}
+	return GroupedModel{Name: "MobileNet-v1", Layers: []GroupedLayer{
+		plain("conv1", 3, 224, 32, 3, 2, 1, 1),
+		dw("dw1", 32, 112, 1, 1), plain("pw1", 32, 112, 64, 1, 1, 0, 1),
+		dw("dw2", 64, 112, 2, 1), plain("pw2", 64, 56, 128, 1, 1, 0, 1),
+		dw("dw3", 128, 56, 1, 1), plain("pw3", 128, 56, 128, 1, 1, 0, 1),
+		dw("dw4", 128, 56, 2, 1), plain("pw4", 128, 28, 256, 1, 1, 0, 1),
+		dw("dw5", 256, 28, 1, 1), plain("pw5", 256, 28, 256, 1, 1, 0, 1),
+		dw("dw6", 256, 28, 2, 1), plain("pw6", 256, 14, 512, 1, 1, 0, 1),
+		dw("dw7_11", 512, 14, 1, 5), plain("pw7_11", 512, 14, 512, 1, 1, 0, 5),
+		dw("dw12", 512, 14, 2, 1), plain("pw12", 512, 7, 1024, 1, 1, 0, 1),
+		dw("dw13", 1024, 7, 1, 1), plain("pw13", 1024, 7, 1024, 1, 1, 0, 1),
+	}}
+}

@@ -1,0 +1,63 @@
+package models
+
+import "testing"
+
+func TestMobileNetValidates(t *testing.T) {
+	m := MobileNetV1()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// MobileNet v1 is famously ~0.57 GFLOP (x2 for MAC->flops: ~1.1e9).
+	fl := m.TotalFLOPs()
+	if fl < 0.8e9 || fl > 1.6e9 {
+		t.Errorf("MobileNet FLOPs %d outside expected band", fl)
+	}
+}
+
+func TestEffectiveShapeFoldsGroups(t *testing.T) {
+	l := GroupedLayer{Name: "dw", Shape: conv(64, 56, 64, 3, 1, 1), Groups: 64, Repeat: 1}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e := l.EffectiveShape()
+	if e.Batch != 64 || e.Cin != 1 || e.Cout != 1 {
+		t.Errorf("effective shape %v, want batch=64 cin=cout=1", e)
+	}
+	// Depthwise flops are 1/64 of the dense layer's.
+	dense := conv(64, 56, 64, 3, 1, 1)
+	if got, want := l.FLOPs(), dense.FLOPs()/64; got != want {
+		t.Errorf("grouped FLOPs %d want %d", got, want)
+	}
+}
+
+func TestGroupedValidateCatchesErrors(t *testing.T) {
+	bad := GroupedLayer{Name: "x", Shape: conv(6, 8, 9, 3, 1, 1), Groups: 4, Repeat: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-divisible groups accepted")
+	}
+	bad = GroupedLayer{Name: "x", Shape: conv(8, 8, 8, 3, 1, 1), Groups: 0, Repeat: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero groups accepted")
+	}
+	empty := GroupedModel{Name: "none"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+}
+
+func TestMobileNetDepthwiseShare(t *testing.T) {
+	// Pointwise 1x1 convs dominate MobileNet's flops; depthwise layers are
+	// cheap — the property that motivated the architecture.
+	m := MobileNetV1()
+	var dwFlops, pwFlops int64
+	for _, l := range m.Layers {
+		if l.Groups > 1 {
+			dwFlops += l.FLOPs()
+		} else if l.Shape.Hker == 1 {
+			pwFlops += l.FLOPs()
+		}
+	}
+	if dwFlops >= pwFlops {
+		t.Errorf("depthwise flops %d not below pointwise %d", dwFlops, pwFlops)
+	}
+}

@@ -1,0 +1,200 @@
+// Package models provides the convolution-layer inventories of the CNNs the
+// paper evaluates end-to-end (Figure 12: SqueezeNet, VGG-19, ResNet-18,
+// ResNet-34, Inception-v3) plus AlexNet, whose layers parameterize Table 2
+// and Figure 11. An inventory lists every convolution layer's shape with a
+// repetition count; non-convolution layers are identical under both systems
+// being compared and therefore excluded, exactly as in the paper's
+// convolution-focused measurement.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/shapes"
+)
+
+// Layer is one convolution layer of a model, possibly repeated.
+type Layer struct {
+	Name   string
+	Shape  shapes.ConvShape
+	Repeat int // how many times this exact shape occurs in the network
+}
+
+// Model is a named list of convolution layers.
+type Model struct {
+	Name   string
+	Layers []Layer
+}
+
+// Validate checks every layer shape.
+func (m Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("models: %s has no layers", m.Name)
+	}
+	for _, l := range m.Layers {
+		if l.Repeat < 1 {
+			return fmt.Errorf("models: %s/%s repeat %d < 1", m.Name, l.Name, l.Repeat)
+		}
+		if err := l.Shape.Validate(); err != nil {
+			return fmt.Errorf("models: %s/%s: %w", m.Name, l.Name, err)
+		}
+	}
+	return nil
+}
+
+// TotalFLOPs sums the direct-algorithm FLOPs over all layers.
+func (m Model) TotalFLOPs() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.Shape.FLOPs() * int64(l.Repeat)
+	}
+	return t
+}
+
+func conv(cin, hw, cout, k, stride, pad int) shapes.ConvShape {
+	return shapes.ConvShape{
+		Batch: 1, Cin: cin, Hin: hw, Win: hw, Cout: cout,
+		Hker: k, Wker: k, Strid: stride, Pad: pad,
+	}
+}
+
+// AlexNet returns the five AlexNet convolution layers; conv1–conv4 match the
+// parameters of the paper's Table 2.
+func AlexNet() Model {
+	return Model{Name: "AlexNet", Layers: []Layer{
+		{"conv1", conv(3, 227, 96, 11, 4, 0), 1},
+		{"conv2", conv(96, 27, 256, 5, 1, 2), 1},
+		{"conv3", conv(256, 13, 384, 3, 1, 1), 1},
+		{"conv4", conv(384, 13, 256, 3, 1, 1), 1},
+		{"conv5", conv(256, 13, 256, 3, 1, 1), 1},
+	}}
+}
+
+// VGG19 returns the sixteen 3×3 convolution layers of VGG-19.
+func VGG19() Model {
+	return Model{Name: "Vgg-19", Layers: []Layer{
+		{"conv1_1", conv(3, 224, 64, 3, 1, 1), 1},
+		{"conv1_2", conv(64, 224, 64, 3, 1, 1), 1},
+		{"conv2_1", conv(64, 112, 128, 3, 1, 1), 1},
+		{"conv2_2", conv(128, 112, 128, 3, 1, 1), 1},
+		{"conv3_1", conv(128, 56, 256, 3, 1, 1), 1},
+		{"conv3_x", conv(256, 56, 256, 3, 1, 1), 3},
+		{"conv4_1", conv(256, 28, 512, 3, 1, 1), 1},
+		{"conv4_x", conv(512, 28, 512, 3, 1, 1), 3},
+		{"conv5_x", conv(512, 14, 512, 3, 1, 1), 4},
+	}}
+}
+
+// ResNet18 returns the convolution layers of ResNet-18 (basic blocks,
+// including the 1×1 projection shortcuts).
+func ResNet18() Model {
+	return Model{Name: "ResNet-18", Layers: []Layer{
+		{"conv1", conv(3, 224, 64, 7, 2, 3), 1},
+		{"stage1", conv(64, 56, 64, 3, 1, 1), 4},
+		{"stage2_down", conv(64, 56, 128, 3, 2, 1), 1},
+		{"stage2_proj", conv(64, 56, 128, 1, 2, 0), 1},
+		{"stage2", conv(128, 28, 128, 3, 1, 1), 3},
+		{"stage3_down", conv(128, 28, 256, 3, 2, 1), 1},
+		{"stage3_proj", conv(128, 28, 256, 1, 2, 0), 1},
+		{"stage3", conv(256, 14, 256, 3, 1, 1), 3},
+		{"stage4_down", conv(256, 14, 512, 3, 2, 1), 1},
+		{"stage4_proj", conv(256, 14, 512, 1, 2, 0), 1},
+		{"stage4", conv(512, 7, 512, 3, 1, 1), 3},
+	}}
+}
+
+// ResNet34 returns the convolution layers of ResNet-34 ([3,4,6,3] basic
+// blocks).
+func ResNet34() Model {
+	return Model{Name: "ResNet-34", Layers: []Layer{
+		{"conv1", conv(3, 224, 64, 7, 2, 3), 1},
+		{"stage1", conv(64, 56, 64, 3, 1, 1), 6},
+		{"stage2_down", conv(64, 56, 128, 3, 2, 1), 1},
+		{"stage2_proj", conv(64, 56, 128, 1, 2, 0), 1},
+		{"stage2", conv(128, 28, 128, 3, 1, 1), 7},
+		{"stage3_down", conv(128, 28, 256, 3, 2, 1), 1},
+		{"stage3_proj", conv(128, 28, 256, 1, 2, 0), 1},
+		{"stage3", conv(256, 14, 256, 3, 1, 1), 11},
+		{"stage4_down", conv(256, 14, 512, 3, 2, 1), 1},
+		{"stage4_proj", conv(256, 14, 512, 1, 2, 0), 1},
+		{"stage4", conv(512, 7, 512, 3, 1, 1), 5},
+	}}
+}
+
+// SqueezeNet returns the convolution layers of SqueezeNet 1.0: the stem plus
+// eight fire modules (squeeze 1×1, expand 1×1 and expand 3×3 each).
+func SqueezeNet() Model {
+	fire := func(name string, in, hw, sq, ex int) []Layer {
+		return []Layer{
+			{name + "_squeeze", conv(in, hw, sq, 1, 1, 0), 1},
+			{name + "_expand1", conv(sq, hw, ex, 1, 1, 0), 1},
+			{name + "_expand3", conv(sq, hw, ex, 3, 1, 1), 1},
+		}
+	}
+	layers := []Layer{{"conv1", conv(3, 224, 96, 7, 2, 0), 1}}
+	layers = append(layers, fire("fire2", 96, 55, 16, 64)...)
+	layers = append(layers, fire("fire3", 128, 55, 16, 64)...)
+	layers = append(layers, fire("fire4", 128, 55, 32, 128)...)
+	layers = append(layers, fire("fire5", 256, 27, 32, 128)...)
+	layers = append(layers, fire("fire6", 256, 27, 48, 192)...)
+	layers = append(layers, fire("fire7", 384, 27, 48, 192)...)
+	layers = append(layers, fire("fire8", 384, 27, 64, 256)...)
+	layers = append(layers, fire("fire9", 512, 13, 64, 256)...)
+	layers = append(layers, Layer{"conv10", conv(512, 13, 1000, 1, 1, 0), 1})
+	return Model{Name: "SqueezeNet", Layers: layers}
+}
+
+// InceptionV3 returns the convolution layers of Inception-v3's stem and a
+// representative inventory of its inception blocks (square-kernel branches;
+// the 1×7/7×1 factorized pairs are accounted as their arithmetic-equivalent
+// square shapes since the simulator treats kernels by volume).
+func InceptionV3() Model {
+	layers := []Layer{
+		{"stem1", conv(3, 299, 32, 3, 2, 0), 1},
+		{"stem2", conv(32, 149, 32, 3, 1, 0), 1},
+		{"stem3", conv(32, 147, 64, 3, 1, 1), 1},
+		{"stem4", conv(64, 73, 80, 1, 1, 0), 1},
+		{"stem5", conv(80, 73, 192, 3, 1, 0), 1},
+		// Three Inception-A blocks at 35×35.
+		{"a_1x1", conv(192, 35, 64, 1, 1, 0), 3},
+		{"a_5x5r", conv(192, 35, 48, 1, 1, 0), 3},
+		{"a_5x5", conv(48, 35, 64, 5, 1, 2), 3},
+		{"a_3x3r", conv(192, 35, 64, 1, 1, 0), 3},
+		{"a_3x3a", conv(64, 35, 96, 3, 1, 1), 3},
+		{"a_3x3b", conv(96, 35, 96, 3, 1, 1), 3},
+		{"a_pool", conv(192, 35, 32, 1, 1, 0), 3},
+		// Reduction-A.
+		{"ra_3x3", conv(288, 35, 384, 3, 2, 0), 1},
+		{"ra_3x3r", conv(288, 35, 64, 1, 1, 0), 1},
+		{"ra_3x3a", conv(64, 35, 96, 3, 1, 1), 1},
+		{"ra_3x3b", conv(96, 35, 96, 3, 2, 0), 1},
+		// Four Inception-B blocks at 17×17 (7×7 factorized branches).
+		{"b_1x1", conv(768, 17, 192, 1, 1, 0), 4},
+		{"b_7x7r", conv(768, 17, 128, 1, 1, 0), 4},
+		{"b_7x7", conv(128, 17, 192, 7, 1, 3), 4},
+		{"b_d7x7r", conv(768, 17, 128, 1, 1, 0), 4},
+		{"b_d7x7a", conv(128, 17, 128, 7, 1, 3), 4},
+		{"b_d7x7b", conv(128, 17, 192, 7, 1, 3), 4},
+		{"b_pool", conv(768, 17, 192, 1, 1, 0), 4},
+		// Reduction-B.
+		{"rb_3x3r", conv(768, 17, 192, 1, 1, 0), 1},
+		{"rb_3x3", conv(192, 17, 320, 3, 2, 0), 1},
+		{"rb_7x7r", conv(768, 17, 192, 1, 1, 0), 1},
+		{"rb_7x7", conv(192, 17, 192, 7, 1, 3), 1},
+		{"rb_3x3b", conv(192, 17, 192, 3, 2, 0), 1},
+		// Two Inception-C blocks at 8×8.
+		{"c_1x1", conv(1280, 8, 320, 1, 1, 0), 2},
+		{"c_3x3r", conv(1280, 8, 384, 1, 1, 0), 2},
+		{"c_3x3", conv(384, 8, 384, 3, 1, 1), 4},
+		{"c_d3x3r", conv(1280, 8, 448, 1, 1, 0), 2},
+		{"c_d3x3a", conv(448, 8, 384, 3, 1, 1), 2},
+		{"c_d3x3b", conv(384, 8, 384, 3, 1, 1), 4},
+		{"c_pool", conv(1280, 8, 192, 1, 1, 0), 2},
+	}
+	return Model{Name: "Inception-v3", Layers: layers}
+}
+
+// Figure12Models lists the five end-to-end models in the paper's order.
+func Figure12Models() []Model {
+	return []Model{SqueezeNet(), VGG19(), ResNet18(), ResNet34(), InceptionV3()}
+}

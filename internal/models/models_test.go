@@ -1,0 +1,123 @@
+package models
+
+import "testing"
+
+func allModels() []Model {
+	return append(Figure12Models(), AlexNet())
+}
+
+func TestModelsValidate(t *testing.T) {
+	for _, m := range allModels() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestFigure12ModelOrder(t *testing.T) {
+	want := []string{"SqueezeNet", "Vgg-19", "ResNet-18", "ResNet-34", "Inception-v3"}
+	got := Figure12Models()
+	if len(got) != len(want) {
+		t.Fatalf("got %d models want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i] {
+			t.Errorf("model[%d]=%s want %s", i, got[i].Name, want[i])
+		}
+	}
+}
+
+func TestAlexNetMatchesTable2(t *testing.T) {
+	m := AlexNet()
+	c1 := m.Layers[0].Shape
+	if c1.Cin != 3 || c1.Hin != 227 || c1.Cout != 96 || c1.Hker != 11 || c1.Strid != 4 || c1.Pad != 0 {
+		t.Errorf("conv1 mismatch with Table 2: %v", c1)
+	}
+	c2 := m.Layers[1].Shape
+	if c2.Cin != 96 || c2.Hin != 27 || c2.Cout != 256 || c2.Hker != 5 || c2.Strid != 1 || c2.Pad != 2 {
+		t.Errorf("conv2 mismatch with Table 2: %v", c2)
+	}
+	c3 := m.Layers[2].Shape
+	if c3.Cin != 256 || c3.Hin != 13 || c3.Cout != 384 || c3.Hker != 3 {
+		t.Errorf("conv3 mismatch with Table 2: %v", c3)
+	}
+	c4 := m.Layers[3].Shape
+	if c4.Cin != 384 || c4.Cout != 256 {
+		t.Errorf("conv4 mismatch with Table 2: %v", c4)
+	}
+}
+
+func TestResNetDepths(t *testing.T) {
+	count := func(m Model) int {
+		n := 0
+		for _, l := range m.Layers {
+			// Count only the 3x3/7x7 "real" convs (projections are 1x1).
+			if l.Shape.Hker > 1 {
+				n += l.Repeat
+			}
+		}
+		return n
+	}
+	// ResNet-18: 1 stem + 2×2 convs per stage × 4 stages = 17.
+	if got := count(ResNet18()); got != 17 {
+		t.Errorf("ResNet-18 has %d >1x1 convs, want 17", got)
+	}
+	// ResNet-34: 1 stem + 2×[3,4,6,3] block convs = 33.
+	if got := count(ResNet34()); got != 33 {
+		t.Errorf("ResNet-34 has %d >1x1 convs, want 33", got)
+	}
+}
+
+func TestVGG19Has16Convs(t *testing.T) {
+	n := 0
+	for _, l := range VGG19().Layers {
+		n += l.Repeat
+	}
+	if n != 16 {
+		t.Errorf("VGG-19 has %d convs, want 16", n)
+	}
+}
+
+func TestSqueezeNetFireStructure(t *testing.T) {
+	m := SqueezeNet()
+	// 1 stem + 8 fires × 3 convs + conv10.
+	n := 0
+	for _, l := range m.Layers {
+		n += l.Repeat
+	}
+	if n != 1+8*3+1 {
+		t.Errorf("SqueezeNet has %d convs, want %d", n, 1+8*3+1)
+	}
+}
+
+func TestTotalFLOPsOrdering(t *testing.T) {
+	// VGG-19 is by far the heaviest of the five; SqueezeNet the lightest
+	// non-trivial one. This pins the relative cost structure Figure 12
+	// depends on.
+	vgg := VGG19().TotalFLOPs()
+	sq := SqueezeNet().TotalFLOPs()
+	r18 := ResNet18().TotalFLOPs()
+	r34 := ResNet34().TotalFLOPs()
+	if !(vgg > r34 && r34 > r18 && r18 > sq) {
+		t.Errorf("FLOPs ordering unexpected: vgg=%d r34=%d r18=%d sq=%d", vgg, r34, r18, sq)
+	}
+	// Sanity magnitudes (direct-conv FLOPs, single image): VGG-19 ~39 GFLOP,
+	// ResNet-18 ~3.6 GFLOP.
+	if vgg < 30e9 || vgg > 50e9 {
+		t.Errorf("VGG-19 FLOPs %d outside expected band", vgg)
+	}
+	if r18 < 2e9 || r18 > 6e9 {
+		t.Errorf("ResNet-18 FLOPs %d outside expected band", r18)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	bad := Model{Name: "empty"}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+	bad = Model{Name: "badrepeat", Layers: []Layer{{"l", conv(1, 8, 1, 3, 1, 0), 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero repeat accepted")
+	}
+}

@@ -1,0 +1,226 @@
+package pebble
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+)
+
+// Policy selects the red-pebble eviction strategy of the greedy scheduler.
+type Policy uint8
+
+const (
+	// LRU evicts the least recently touched unpinned red pebble.
+	LRU Policy = iota
+	// Belady evicts the unpinned red pebble whose next use in the fixed
+	// compute order is furthest in the future (optimal for a fixed order).
+	Belady
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case Belady:
+		return "belady"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Schedule is a complete calculation produced by a scheduler.
+type Schedule struct {
+	Moves  []Move
+	Loads  int
+	Stores int
+}
+
+// IO returns the schedule's total I/O count Q.
+func (s *Schedule) IO() int { return s.Loads + s.Stores }
+
+// Greedy plays the pebble game on g with S red pebbles by computing the
+// non-input vertices in id (topological) order, loading operands on demand
+// and evicting with the given policy. Evicted values that are still needed
+// but hold no blue pebble are stored first, so nothing is ever recomputed.
+// The returned schedule is legal and complete; Q = Loads+Stores is an upper
+// bound on the optimal I/O.
+func Greedy(g *dag.Graph, s int, pol Policy) (*Schedule, error) {
+	if need := g.MaxInDegree() + 1; s < need {
+		return nil, fmt.Errorf("pebble: S=%d too small; need %d", s, need)
+	}
+	n := g.NumVertices()
+
+	// For Belady: positions in the compute order where each vertex is used
+	// as an operand. Position of vertex v's computation is v itself (the id
+	// order is topological by construction).
+	var uses [][]int32
+	usePtr := make([]int, n)
+	if pol == Belady {
+		uses = make([][]int32, n)
+		for v := 0; v < n; v++ {
+			for _, p := range g.Preds(v) {
+				uses[p] = append(uses[p], int32(v))
+			}
+		}
+	}
+	// pendingUses counts remaining consumers; outputs get one extra pending
+	// use representing their final store.
+	pending := make([]int, n)
+	for v := 0; v < n; v++ {
+		pending[v] = len(g.Succs(v))
+	}
+
+	sched := &Schedule{}
+	red := make([]bool, n)
+	blue := make([]bool, n)
+	stored := make([]bool, n)
+	for _, v := range g.Vertices(dag.Input) {
+		blue[v] = true
+		stored[v] = true
+	}
+	redCount := 0
+	lastTouch := make([]int64, n)
+	var clock int64
+	pinned := make([]bool, n)
+
+	emit := func(op Op, v int) {
+		sched.Moves = append(sched.Moves, Move{op, v})
+		switch op {
+		case Load:
+			sched.Loads++
+		case Store:
+			sched.Stores++
+		}
+	}
+
+	nextUse := func(v, now int) int {
+		for usePtr[v] < len(uses[v]) && int(uses[v][usePtr[v]]) <= now {
+			usePtr[v]++
+		}
+		if usePtr[v] < len(uses[v]) {
+			return int(uses[v][usePtr[v]])
+		}
+		return math.MaxInt
+	}
+
+	// evictOne frees one unpinned red pebble, storing it first if its value
+	// is still needed and not in slow memory.
+	evictOne := func(now int) error {
+		victim, victimKey := -1, int64(math.MinInt64)
+		for v := 0; v < n; v++ {
+			if !red[v] || pinned[v] {
+				continue
+			}
+			var key int64
+			switch pol {
+			case LRU:
+				key = -lastTouch[v] // oldest touch = largest key
+			case Belady:
+				if pending[v] == 0 {
+					key = math.MaxInt64 // dead value: perfect victim
+				} else {
+					key = int64(nextUse(v, now))
+				}
+			}
+			if key > victimKey {
+				victim, victimKey = v, key
+			}
+		}
+		if victim < 0 {
+			return fmt.Errorf("pebble: no evictable red pebble (S=%d too small)", s)
+		}
+		if pending[victim] > 0 && !blue[victim] {
+			emit(Store, victim)
+			blue[victim] = true
+			stored[victim] = true
+		}
+		emit(FreeRed, victim)
+		red[victim] = false
+		redCount--
+		return nil
+	}
+
+	ensureRoom := func(now int) error {
+		for redCount >= s {
+			if err := evictOne(now); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for v := 0; v < n; v++ {
+		if g.Kind(v) == dag.Input {
+			continue
+		}
+		preds := g.Preds(v)
+		// Bring operands into fast memory, pinning them.
+		for _, p32 := range preds {
+			p := int(p32)
+			if red[p] {
+				pinned[p] = true
+				clock++
+				lastTouch[p] = clock
+				continue
+			}
+			if !blue[p] {
+				return nil, fmt.Errorf("pebble: internal error: operand %d neither red nor blue", p)
+			}
+			if err := ensureRoom(v); err != nil {
+				return nil, err
+			}
+			emit(Load, p)
+			red[p] = true
+			redCount++
+			pinned[p] = true
+			clock++
+			lastTouch[p] = clock
+		}
+		if err := ensureRoom(v); err != nil {
+			return nil, err
+		}
+		emit(Compute, v)
+		red[v] = true
+		redCount++
+		clock++
+		lastTouch[v] = clock
+
+		// Operand bookkeeping: unpin, decrement pending uses, free dead
+		// values eagerly.
+		for _, p32 := range preds {
+			p := int(p32)
+			pinned[p] = false
+			pending[p]--
+			if pending[p] == 0 && red[p] {
+				emit(FreeRed, p)
+				red[p] = false
+				redCount--
+			}
+		}
+		if g.Kind(v) == dag.Output {
+			emit(Store, v)
+			blue[v] = true
+			stored[v] = true
+			emit(FreeRed, v)
+			red[v] = false
+			redCount--
+		}
+	}
+	return sched, nil
+}
+
+// Verify replays a schedule through the rule-checked executor and reports
+// whether it is legal and complete, returning the measured I/O count.
+func Verify(g *dag.Graph, s int, sched *Schedule) (int, error) {
+	game, err := NewGame(g, s)
+	if err != nil {
+		return 0, err
+	}
+	if err := game.Run(sched.Moves); err != nil {
+		return 0, err
+	}
+	if !game.Complete() {
+		return game.IO(), fmt.Errorf("pebble: schedule incomplete")
+	}
+	return game.IO(), nil
+}

@@ -1,0 +1,108 @@
+package pebble
+
+import (
+	"container/heap"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/dag"
+)
+
+// MaxOptimalVertices bounds the DAG size accepted by Optimal; the state
+// space grows as (red sets of size ≤ S) × 2^(non-inputs).
+const MaxOptimalVertices = 20
+
+// Optimal computes the exact minimum I/O count Q of a complete red–blue
+// pebble game on g with S red pebbles, by Dijkstra search over pebbling
+// states (red set, blue set). Recomputation of values is allowed, exactly as
+// in the Hong–Kung model. It is exponential and only accepts DAGs with at
+// most MaxOptimalVertices vertices.
+func Optimal(g *dag.Graph, s int) (int, error) {
+	n := g.NumVertices()
+	if n > MaxOptimalVertices {
+		return 0, fmt.Errorf("pebble: DAG too large for exact search (%d > %d vertices)", n, MaxOptimalVertices)
+	}
+	if need := g.MaxInDegree() + 1; s < need {
+		return 0, fmt.Errorf("pebble: S=%d too small; need %d", s, need)
+	}
+
+	var inputMask, outputMask uint32
+	for v := 0; v < n; v++ {
+		switch g.Kind(v) {
+		case dag.Input:
+			inputMask |= 1 << v
+		case dag.Output:
+			outputMask |= 1 << v
+		}
+	}
+	predMask := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, p := range g.Preds(v) {
+			predMask[v] |= 1 << uint(p)
+		}
+	}
+
+	type state struct{ red, blue uint32 }
+	start := state{0, inputMask}
+	dist := map[state]int{start: 0}
+	pq := &stateHeap{{start.red, start.blue, 0}}
+
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(stateEntry)
+		st := state{cur.red, cur.blue}
+		if d, ok := dist[st]; !ok || cur.cost > d {
+			continue // stale entry
+		}
+		if st.blue&outputMask == outputMask {
+			return cur.cost, nil
+		}
+		relax := func(ns state, cost int) {
+			if d, ok := dist[ns]; !ok || cost < d {
+				dist[ns] = cost
+				heap.Push(pq, stateEntry{ns.red, ns.blue, cost})
+			}
+		}
+		redCount := bits.OnesCount32(st.red)
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << v
+			// Compute v (free).
+			if st.red&bit == 0 && g.Kind(v) != dag.Input && redCount < s &&
+				st.red&predMask[v] == predMask[v] {
+				relax(state{st.red | bit, st.blue}, cur.cost)
+			}
+			// Load v (cost 1).
+			if st.blue&bit != 0 && st.red&bit == 0 && redCount < s {
+				relax(state{st.red | bit, st.blue}, cur.cost+1)
+			}
+			// Store v (cost 1).
+			if st.red&bit != 0 && st.blue&bit == 0 {
+				relax(state{st.red, st.blue | bit}, cur.cost+1)
+			}
+			// Free red pebble (free). Freeing blue pebbles can never help
+			// since blue storage is unlimited, so it is not explored.
+			if st.red&bit != 0 {
+				relax(state{st.red &^ bit, st.blue}, cur.cost)
+			}
+		}
+	}
+	return 0, fmt.Errorf("pebble: no complete calculation found (unreachable)")
+}
+
+type stateEntry struct {
+	red, blue uint32
+	cost      int
+}
+
+type stateHeap []stateEntry
+
+func (h stateHeap) Len() int            { return len(h) }
+func (h stateHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h stateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stateHeap) Push(x interface{}) { *h = append(*h, x.(stateEntry)) }
+func (h *stateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,164 @@
+package pebble
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/shapes"
+)
+
+func convDAG(t *testing.T) *dag.DirectConv {
+	t.Helper()
+	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 4, Win: 4, Cout: 2, Hker: 2, Wker: 2, Strid: 1}
+	d, err := dag.BuildDirectConv(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGreedySPartitionIsValid(t *testing.T) {
+	d := convDAG(t)
+	for _, s := range []int{4, 8, 16, 64} {
+		p, err := GreedySPartition(d.Graph, s)
+		if err != nil {
+			t.Fatalf("S=%d: %v", s, err)
+		}
+		if err := p.Verify(d.Graph, s); err != nil {
+			t.Errorf("S=%d: produced invalid partition: %v", s, err)
+		}
+		if p.H < 1 {
+			t.Errorf("S=%d: empty partition", s)
+		}
+	}
+}
+
+func TestGreedySPartitionClassesShrinkWithS(t *testing.T) {
+	d := convDAG(t)
+	prev := 1 << 30
+	for _, s := range []int{4, 8, 16, 64, 1024} {
+		p, err := GreedySPartition(d.Graph, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.H > prev {
+			t.Errorf("S=%d: more classes (%d) than smaller S (%d)", s, p.H, prev)
+		}
+		prev = p.H
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	d := convDAG(t)
+	p, err := GreedySPartition(d.Graph, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assigning an input vertex must fail Property 1.
+	bad := NewPartition(d.Graph)
+	copy(bad.Class, p.Class)
+	bad.H = p.H
+	bad.Class[d.Vertices(dag.Input)[0]] = 0
+	if err := bad.Verify(d.Graph, 16); err == nil {
+		t.Error("input assignment accepted")
+	}
+	// Un-assigning a computed vertex must fail Property 1.
+	bad2 := NewPartition(d.Graph)
+	copy(bad2.Class, p.Class)
+	bad2.H = p.H
+	bad2.Class[d.Vertices(dag.Output)[0]] = -1
+	if err := bad2.Verify(d.Graph, 16); err == nil {
+		t.Error("uncovered vertex accepted")
+	}
+	// Shrinking S below a dominator set must fail Property 2.
+	if err := p.Verify(d.Graph, 1); err == nil {
+		t.Error("S=1 accepted for a partition built at S=16")
+	}
+}
+
+func TestVerifyCatchesCyclicClasses(t *testing.T) {
+	// Build a 4-vertex chain and interleave two classes: a -> b -> c -> d
+	// with classes {a,c} and {b,d} depends both ways -> cyclic.
+	g := dag.New()
+	in := g.AddVertex(dag.Input, 0)
+	a := g.AddVertex(dag.Internal, 0, in)
+	b := g.AddVertex(dag.Internal, 0, a)
+	c := g.AddVertex(dag.Internal, 0, b)
+	d := g.AddVertex(dag.Output, 0, c)
+	p := NewPartition(g)
+	p.H = 2
+	p.Class[a], p.Class[c] = 0, 0
+	p.Class[b], p.Class[d] = 1, 1
+	if err := p.Verify(g, 8); err == nil {
+		t.Error("cyclic class dependence accepted")
+	}
+}
+
+func TestDominatorAndMinimumSets(t *testing.T) {
+	// Diamond: two inputs -> product -> output chain.
+	g := dag.New()
+	i1 := g.AddVertex(dag.Input, 0)
+	i2 := g.AddVertex(dag.Input, 0)
+	m := g.AddVertex(dag.Internal, 0, i1, i2)
+	o := g.AddVertex(dag.Output, 0, m)
+	class := []int{-1, -1, 0, 0}
+	dom := DominatorSet(g, class, 0)
+	if len(dom) != 2 {
+		t.Errorf("dominator set %v, want the two inputs", dom)
+	}
+	minset := MinimumSet(g, class, 0)
+	if len(minset) != 1 || minset[0] != o {
+		t.Errorf("minimum set %v, want just the output", minset)
+	}
+}
+
+// H(S) from any valid partition must never exceed the number of classes of
+// that partition (Equation 2 is a min over partitions of a ratio that the
+// max class size bounds).
+func TestHEstimateConsistent(t *testing.T) {
+	d := convDAG(t)
+	for _, s := range []int{8, 32} {
+		p, err := GreedySPartition(d.Graph, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := p.HEstimate(d.Graph)
+		if h <= 0 {
+			t.Fatalf("S=%d: degenerate H estimate %v", s, h)
+		}
+		if h > float64(p.H)+1e-9 {
+			t.Errorf("S=%d: |V|/max|Vi| = %v exceeds class count %d", s, h, p.H)
+		}
+	}
+}
+
+// The partition-based diagnostic must be consistent with actually played
+// games: the greedy schedule's Q should not be dramatically below it.
+func TestPartitionBoundDiagnostic(t *testing.T) {
+	d := convDAG(t)
+	for _, s := range []int{4, 8} {
+		pb, err := PartitionBound(d.Graph, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := Greedy(d.Graph, s, Belady)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pb < 0 {
+			t.Errorf("S=%d: negative diagnostic %v", s, pb)
+		}
+		// The diagnostic is a heuristic; it must stay in the same decade as
+		// played games rather than exceeding them wildly.
+		if pb > 10*float64(sched.IO()) {
+			t.Errorf("S=%d: diagnostic %v wildly above played Q=%d", s, pb, sched.IO())
+		}
+	}
+}
+
+func TestGreedySPartitionRejectsTinyS(t *testing.T) {
+	d := convDAG(t)
+	if _, err := GreedySPartition(d.Graph, 0); err == nil {
+		t.Error("S=0 accepted")
+	}
+}

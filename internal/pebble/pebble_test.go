@@ -1,0 +1,256 @@
+package pebble
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/shapes"
+)
+
+// chainGraph builds in0 -> v1 -> v2 -> ... -> out (a path).
+func chainGraph(k int) *dag.Graph {
+	g := dag.New()
+	prev := g.AddVertex(dag.Input, 0)
+	for i := 0; i < k-1; i++ {
+		prev = g.AddVertex(dag.Internal, 0, prev)
+	}
+	g.AddVertex(dag.Output, 0, prev)
+	return g
+}
+
+// diamondGraph: two inputs feeding one sum output.
+func diamondGraph() *dag.Graph {
+	g := dag.New()
+	a := g.AddVertex(dag.Input, 0)
+	b := g.AddVertex(dag.Input, 0)
+	g.AddVertex(dag.Output, 0, a, b)
+	return g
+}
+
+func TestGameRules(t *testing.T) {
+	g := diamondGraph()
+	gm, err := NewGame(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute before loading operands must fail.
+	if err := gm.Play(Move{Compute, 2}); err == nil {
+		t.Fatal("compute with unpebbled preds succeeded")
+	}
+	must := func(m Move) {
+		t.Helper()
+		if err := gm.Play(m); err != nil {
+			t.Fatalf("%v %d: %v", m.Op, m.V, err)
+		}
+	}
+	must(Move{Load, 0})
+	must(Move{Load, 1})
+	must(Move{Compute, 2})
+	if gm.RedCount() != 3 {
+		t.Errorf("RedCount=%d want 3", gm.RedCount())
+	}
+	// Fourth red pebble must be rejected.
+	if err := gm.Play(Move{Load, 0}); err == nil {
+		t.Error("load beyond S succeeded")
+	}
+	if gm.Complete() {
+		t.Error("complete before storing output")
+	}
+	must(Move{Store, 2})
+	if !gm.Complete() {
+		t.Error("not complete after storing output")
+	}
+	if gm.IO() != 3 || gm.Loads() != 2 || gm.Stores() != 1 {
+		t.Errorf("IO=%d loads=%d stores=%d", gm.IO(), gm.Loads(), gm.Stores())
+	}
+}
+
+func TestGameIllegalMoves(t *testing.T) {
+	g := diamondGraph()
+	gm, _ := NewGame(g, 3)
+	cases := []struct {
+		name string
+		m    Move
+	}{
+		{"load without blue", Move{Load, 2}},
+		{"store without red", Move{Store, 0}},
+		{"free red without red", Move{FreeRed, 0}},
+		{"free blue without blue", Move{FreeBlue, 2}},
+		{"compute input", Move{Compute, 0}},
+		{"out of range", Move{Load, 99}},
+	}
+	for _, c := range cases {
+		if err := gm.Play(c.m); err == nil {
+			t.Errorf("%s: succeeded", c.name)
+		}
+	}
+	// State must be untouched after illegal moves.
+	if gm.IO() != 0 || gm.RedCount() != 0 {
+		t.Error("illegal moves changed state")
+	}
+}
+
+func TestNewGameRejectsSmallS(t *testing.T) {
+	g := diamondGraph() // in-degree 2 -> needs S >= 3
+	if _, err := NewGame(g, 2); err == nil {
+		t.Error("S below max in-degree + 1 accepted")
+	}
+	if _, err := NewGame(g, 0); err == nil {
+		t.Error("S=0 accepted")
+	}
+}
+
+func TestGreedySchedulesAreLegal(t *testing.T) {
+	graphs := map[string]*dag.Graph{
+		"chain":   chainGraph(6),
+		"diamond": diamondGraph(),
+	}
+	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 4, Win: 4, Cout: 2, Hker: 2, Wker: 2, Strid: 1}
+	dc, err := dag.BuildDirectConv(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs["direct-conv"] = dc.Graph
+
+	for name, g := range graphs {
+		for _, pol := range []Policy{LRU, Belady} {
+			for _, S := range []int{3, 4, 8, 32} {
+				sched, err := Greedy(g, S, pol)
+				if err != nil {
+					t.Fatalf("%s S=%d %v: %v", name, S, pol, err)
+				}
+				q, err := Verify(g, S, sched)
+				if err != nil {
+					t.Fatalf("%s S=%d %v: illegal schedule: %v", name, S, pol, err)
+				}
+				if q != sched.IO() {
+					t.Errorf("%s S=%d %v: executor counted %d, schedule says %d", name, S, pol, q, sched.IO())
+				}
+				// Any complete game must at least load what outputs need and
+				// store every output once.
+				if q < g.CountKind(dag.Output) {
+					t.Errorf("%s S=%d %v: Q=%d below output count", name, S, pol, q)
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyMoreMemoryNeverHurts(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 4, Win: 4, Cout: 2, Hker: 2, Wker: 2, Strid: 1}
+	dc, err := dag.BuildDirectConv(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for _, S := range []int{3, 6, 12, 24, 48, 96, 1 << 20} {
+		sched, err := Greedy(dc.Graph, S, Belady)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && sched.IO() > prev {
+			t.Errorf("S=%d: Q=%d worse than smaller memory's %d", S, sched.IO(), prev)
+		}
+		prev = sched.IO()
+	}
+	// With unbounded memory, Q = (#inputs actually used) + #outputs.
+	want := dc.CountKind(dag.Input) + dc.CountKind(dag.Output)
+	if prev != want {
+		t.Errorf("unbounded-memory Q=%d want %d (inputs+outputs)", prev, want)
+	}
+}
+
+func TestBeladyNoWorseThanLRUOnConv(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 4, Win: 4, Cout: 2, Hker: 2, Wker: 2, Strid: 1}
+	dc, err := dag.BuildDirectConv(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, S := range []int{4, 8, 16, 64} {
+		lru, err := Greedy(dc.Graph, S, LRU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bel, err := Greedy(dc.Graph, S, Belady)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bel.IO() > lru.IO() {
+			t.Errorf("S=%d: Belady Q=%d worse than LRU Q=%d", S, bel.IO(), lru.IO())
+		}
+	}
+}
+
+func TestOptimalOnChain(t *testing.T) {
+	// A chain of k compute vertices with S >= 2 needs exactly 1 load + 1
+	// store: load the input, compute along the chain freeing as we go,
+	// store the output.
+	g := chainGraph(4)
+	q, err := Optimal(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 2 {
+		t.Errorf("chain optimal Q=%d want 2", q)
+	}
+}
+
+func TestOptimalOnDiamond(t *testing.T) {
+	g := diamondGraph()
+	q, err := Optimal(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 3 { // 2 loads + 1 store
+		t.Errorf("diamond optimal Q=%d want 3", q)
+	}
+}
+
+func TestOptimalNeverAboveGreedy(t *testing.T) {
+	// Tiny conv: 3x3 input, 2x2 kernel, 1 channel, 1 output channel ->
+	// 4 outputs, 4 products each.
+	s := shapes.ConvShape{Batch: 1, Cin: 1, Hin: 3, Win: 3, Cout: 1, Hker: 2, Wker: 2, Strid: 2}
+	dc, err := dag.BuildDirectConv(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.NumVertices() > MaxOptimalVertices {
+		t.Skipf("DAG too large for exact search: %d", dc.NumVertices())
+	}
+	for _, S := range []int{3, 4, 5} {
+		opt, err := Optimal(dc.Graph, S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gre, err := Greedy(dc.Graph, S, Belady)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt > gre.IO() {
+			t.Errorf("S=%d: optimal %d above greedy %d", S, opt, gre.IO())
+		}
+		if opt < dc.CountKind(dag.Output) {
+			t.Errorf("S=%d: optimal %d below trivial store bound", S, opt)
+		}
+	}
+}
+
+func TestOptimalRejectsLargeDAG(t *testing.T) {
+	g := chainGraph(MaxOptimalVertices + 5)
+	if _, err := Optimal(g, 4); err == nil {
+		t.Error("oversized DAG accepted")
+	}
+}
+
+func TestOpPolicyStrings(t *testing.T) {
+	for _, o := range []Op{Load, Store, Compute, FreeRed, FreeBlue, Op(42)} {
+		if o.String() == "" {
+			t.Errorf("empty string for op %d", o)
+		}
+	}
+	for _, p := range []Policy{LRU, Belady, Policy(42)} {
+		if p.String() == "" {
+			t.Errorf("empty string for policy %d", p)
+		}
+	}
+}

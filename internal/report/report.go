@@ -1,0 +1,176 @@
+// Package report renders experiment results as aligned text tables and CSV,
+// the output format of cmd/repro and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows of string cells under a header.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with the given title and column names.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; cells beyond the header width are dropped and
+// missing cells are blank-filled.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowF formats each value with %v compactly (floats get 2 decimals).
+func (t *Table) AddRowF(cells ...interface{}) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			out[i] = fmt.Sprintf("%.2f", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is a named sequence of (x, y) points, used for figure curves
+// (e.g., GFLOPS vs tuning iteration).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// WriteSeries renders aligned columns of several series sharing an x-axis
+// label, padding shorter series with blanks.
+func WriteSeries(w io.Writer, xLabel string, series []Series) error {
+	t := New("", append([]string{xLabel}, names(series)...)...)
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		row := make([]string, len(series)+1)
+		for j, s := range series {
+			if i < len(s.Y) {
+				if i < len(s.X) {
+					row[0] = fmt.Sprintf("%g", s.X[i])
+				} else {
+					row[0] = fmt.Sprint(i)
+				}
+				row[j+1] = fmt.Sprintf("%.2f", s.Y[i])
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.WriteText(w)
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of positive values (zero if none),
+// accumulating in log space to avoid overflow on long lists.
+func GeoMean(vals []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowF("beta", 2.5)
+	var b strings.Builder
+	if err := tb.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"## demo", "name", "alpha", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("1")                // short row padded
+	tb.AddRow("1", "2", "3", "4") // long row truncated
+	if len(tb.Rows[0]) != 3 || len(tb.Rows[1]) != 3 {
+		t.Errorf("row normalization failed: %v", tb.Rows)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := New("", "x", "note")
+	tb.AddRow("1", `with,comma and "quote"`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma and ""quote"""`) {
+		t.Errorf("CSV escaping wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "x,note\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	s := []Series{
+		{Name: "one", X: []float64{1, 2}, Y: []float64{10, 20}},
+		{Name: "two", X: []float64{1, 2, 3}, Y: []float64{5, 6, 7}},
+	}
+	var b strings.Builder
+	if err := WriteSeries(&b, "iter", s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"iter", "one", "two", "10.00", "7.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8)=%v want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("GeoMean(nil)=%v want 0", g)
+	}
+	if g := GeoMean([]float64{-1, 0}); g != 0 {
+		t.Errorf("GeoMean(nonpositive)=%v want 0", g)
+	}
+	// Long list must not overflow.
+	many := make([]float64, 10000)
+	for i := range many {
+		many[i] = 1e10
+	}
+	if g := GeoMean(many); math.IsInf(g, 1) || math.Abs(g-1e10) > 1 {
+		t.Errorf("GeoMean overflowed: %v", g)
+	}
+}

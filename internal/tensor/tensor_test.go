@@ -1,0 +1,147 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	for _, lay := range Layouts {
+		tt := NewWithLayout(2, 3, 4, 5, lay)
+		seen := make(map[int]bool)
+		for n := 0; n < 2; n++ {
+			for c := 0; c < 3; c++ {
+				for h := 0; h < 4; h++ {
+					for w := 0; w < 5; w++ {
+						idx := tt.Index(n, c, h, w)
+						if idx < 0 || idx >= tt.Len() {
+							t.Fatalf("%v: index out of range: %d", lay, idx)
+						}
+						if seen[idx] {
+							t.Fatalf("%v: duplicate index %d", lay, idx)
+						}
+						seen[idx] = true
+					}
+				}
+			}
+		}
+		if len(seen) != tt.Len() {
+			t.Fatalf("%v: index not a bijection: %d of %d", lay, len(seen), tt.Len())
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	tt := New(1, 2, 3, 4)
+	tt.Set(0, 1, 2, 3, 42)
+	if got := tt.At(0, 1, 2, 3); got != 42 {
+		t.Errorf("At=%v want 42", got)
+	}
+}
+
+func TestAtPadded(t *testing.T) {
+	tt := New(1, 1, 2, 2)
+	tt.Fill(7)
+	if got := tt.AtPadded(0, 0, -1, 0); got != 0 {
+		t.Errorf("padded read above = %v want 0", got)
+	}
+	if got := tt.AtPadded(0, 0, 0, 2); got != 0 {
+		t.Errorf("padded read right = %v want 0", got)
+	}
+	if got := tt.AtPadded(0, 0, 1, 1); got != 7 {
+		t.Errorf("in-range padded read = %v want 7", got)
+	}
+}
+
+func TestToLayoutPreservesValues(t *testing.T) {
+	src := New(2, 3, 5, 4)
+	src.FillRandom(1)
+	for _, lay := range Layouts {
+		dst := src.ToLayout(lay)
+		if dst.Lay != lay {
+			t.Fatalf("layout not applied: %v", dst.Lay)
+		}
+		if !AllClose(src, dst, 0) {
+			t.Fatalf("conversion to %v changed values", lay)
+		}
+		back := dst.ToLayout(NCHW)
+		if !AllClose(src, back, 0) {
+			t.Fatalf("round trip through %v changed values", lay)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(1, 1, 2, 2)
+	a.Fill(1)
+	b := a.Clone()
+	b.Set(0, 0, 0, 0, 9)
+	if a.At(0, 0, 0, 0) != 1 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := New(1, 2, 3, 4)
+	b := New(1, 2, 3, 4)
+	a.FillRandom(7)
+	b.FillRandom(7)
+	if !AllClose(a, b, 0) {
+		t.Error("same seed produced different tensors")
+	}
+	c := New(1, 2, 3, 4)
+	c.FillRandom(8)
+	if AllClose(a, c, 0) {
+		t.Error("different seeds produced identical tensors")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := New(1, 1, 2, 2)
+	b := New(1, 1, 2, 2)
+	b.Set(0, 0, 1, 1, -3)
+	if got := MaxAbsDiff(a, b); got != 3 {
+		t.Errorf("MaxAbsDiff=%v want 3", got)
+	}
+}
+
+func TestMaxAbsDiffPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dim mismatch")
+		}
+	}()
+	MaxAbsDiff(New(1, 1, 2, 2), New(1, 1, 2, 3))
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero dim")
+		}
+	}()
+	New(1, 0, 2, 2)
+}
+
+// Property: for any coordinates and any layout, Set followed by At returns
+// the stored value.
+func TestSetAtProperty(t *testing.T) {
+	f := func(n, c, h, w uint8, v float32, layIdx uint8) bool {
+		tt := NewWithLayout(3, 4, 5, 6, Layouts[int(layIdx)%len(Layouts)])
+		ni, ci, hi, wi := int(n)%3, int(c)%4, int(h)%5, int(w)%6
+		tt.Set(ni, ci, hi, wi, v)
+		return tt.At(ni, ci, hi, wi) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if NCHW.String() != "CHW" || NCWH.String() != "CWH" || NHWC.String() != "HWC" {
+		t.Error("unexpected layout names")
+	}
+	if Layout(99).String() == "" {
+		t.Error("unknown layout should still stringify")
+	}
+}

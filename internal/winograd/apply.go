@@ -1,0 +1,97 @@
+package winograd
+
+// This file applies the F(m, r) transforms to flat 2-D tiles stored
+// row-major in float32 slices, which is how the convolution dataflows keep
+// them in (simulated) on-chip memory.
+
+// FilterTransform computes U = G·g·Gᵀ for an r×r filter tile g, producing an
+// α×α transformed tile in dst. dst must have length α².
+func (t *Transform) FilterTransform(dst, g []float32) {
+	t.apply(dst, g, t.G, t.R, t.Alpha)
+}
+
+// InputTransform computes V = Bᵀ·d·B for an α×α input tile d, producing an
+// α×α transformed tile in dst. dst must have length α².
+func (t *Transform) InputTransform(dst, d []float32) {
+	t.apply(dst, d, t.BT, t.Alpha, t.Alpha)
+}
+
+// OutputTransform computes Y = Aᵀ·Π·A for an α×α accumulated tile Π,
+// producing the m×m output tile in dst. dst must have length m².
+func (t *Transform) OutputTransform(dst, pi []float32) {
+	t.apply(dst, pi, t.AT, t.Alpha, t.M)
+}
+
+// apply computes dst = M·src·Mᵀ where M is out×in and src is an in×in
+// row-major tile, writing an out×out row-major tile.
+func (t *Transform) apply(dst, src []float32, m [][]float64, in, out int) {
+	if len(src) < in*in || len(dst) < out*out {
+		panic("winograd: tile buffer too small")
+	}
+	// tmp = M·src (out×in).
+	tmp := make([]float64, out*in)
+	for i := 0; i < out; i++ {
+		for j := 0; j < in; j++ {
+			var s float64
+			for k := 0; k < in; k++ {
+				s += m[i][k] * float64(src[k*in+j])
+			}
+			tmp[i*in+j] = s
+		}
+	}
+	// dst = tmp·Mᵀ (out×out).
+	for i := 0; i < out; i++ {
+		for j := 0; j < out; j++ {
+			var s float64
+			for k := 0; k < in; k++ {
+				s += tmp[i*in+k] * m[j][k]
+			}
+			dst[i*out+j] = float32(s)
+		}
+	}
+}
+
+// Correlate1D computes the m valid correlation outputs of a length-α input
+// against an r-tap filter using the 1-D Winograd identity. It exists mainly
+// for tests and for the DAG builder's cross-checks.
+func (t *Transform) Correlate1D(d, g []float32) []float32 {
+	if len(d) != t.Alpha || len(g) != t.R {
+		panic("winograd: Correlate1D size mismatch")
+	}
+	gg := make([]float64, t.Alpha)
+	for i := 0; i < t.Alpha; i++ {
+		for j := 0; j < t.R; j++ {
+			gg[i] += t.G[i][j] * float64(g[j])
+		}
+	}
+	dd := make([]float64, t.Alpha)
+	for i := 0; i < t.Alpha; i++ {
+		for j := 0; j < t.Alpha; j++ {
+			dd[i] += t.BT[i][j] * float64(d[j])
+		}
+	}
+	y := make([]float32, t.M)
+	for i := 0; i < t.M; i++ {
+		var s float64
+		for k := 0; k < t.Alpha; k++ {
+			s += t.AT[i][k] * gg[k] * dd[k]
+		}
+		y[i] = float32(s)
+	}
+	return y
+}
+
+// Correlate2D computes the m×m valid correlation outputs of an α×α input
+// tile against an r×r filter via the nested 2-D identity.
+func (t *Transform) Correlate2D(d, g []float32) []float32 {
+	u := make([]float32, t.Alpha*t.Alpha)
+	v := make([]float32, t.Alpha*t.Alpha)
+	t.FilterTransform(u, g)
+	t.InputTransform(v, d)
+	for i := range u {
+		u[i] *= v[i]
+	}
+	y := make([]float32, t.M*t.M)
+	t.OutputTransform(y, u)
+	return y
+}

@@ -1,0 +1,231 @@
+// Package winograd constructs the transformation matrices A, G and B used by
+// the Winograd convolution algorithm F(e×e, r×r) described in Section 2.3 of
+// the paper, and applies them to 2-D tiles.
+//
+// The matrices are produced by the Cook–Toom construction over exact
+// rational arithmetic (math/big.Rat): an algorithm for the m-output,
+// r-tap correlation F(m, r) is the transpose of a Toom–Cook algorithm for
+// the linear convolution of sizes (m, r), using α = m+r−1 evaluation points
+// (α−1 finite points plus the point at infinity). The resulting identity is
+//
+//	Y = Aᵀ[(G·g) ⊙ (Bᵀ·d)]            (1-D, d of length α, g of length r)
+//	Y = Aᵀ[(G·g·Gᵀ) ⊙ (Bᵀ·d·B)]·A    (2-D, nested application)
+//
+// which is exact in real arithmetic for every choice of distinct points.
+package winograd
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// defaultPoints is the standard sequence of interpolation points. Small
+// magnitudes keep the transform matrices well conditioned in float arithmetic.
+var defaultPoints = []*big.Rat{
+	big.NewRat(0, 1),
+	big.NewRat(1, 1), big.NewRat(-1, 1),
+	big.NewRat(2, 1), big.NewRat(-2, 1),
+	big.NewRat(1, 2), big.NewRat(-1, 2),
+	big.NewRat(3, 1), big.NewRat(-3, 1),
+	big.NewRat(1, 3), big.NewRat(-1, 3),
+	big.NewRat(4, 1), big.NewRat(-4, 1),
+}
+
+// Transform holds the three Winograd matrices for F(m, r) in row-major
+// float64 form. AT is m×α, G is α×r, BT is α×α, with α = m+r−1 (the input
+// tile size, written e+r−1 in the paper with m = e).
+type Transform struct {
+	M     int // number of outputs per tile (the paper's e)
+	R     int // filter taps (the paper's r)
+	Alpha int // input tile size m+r−1
+
+	AT [][]float64 // m×α output transform
+	G  [][]float64 // α×r filter transform
+	BT [][]float64 // α×α input transform
+}
+
+// The transform matrices are sparse (most entries are 0 and ±1), and real
+// kernels exploit that: a 2-D transform M·d·Mᵀ with M of shape p×q costs
+// about 2·(p+q)·nnz(M) flops, not the dense 4·p·q² count. These accessors
+// report that sparse cost; the simulator charges it for on-chip transforms.
+
+// OpsInput is the flop cost of one 2-D input transform Bᵀ·d·B.
+func (t *Transform) OpsInput() int { return transformOps(t.BT, t.Alpha, t.Alpha) }
+
+// OpsFilter is the flop cost of one 2-D filter transform G·g·Gᵀ.
+func (t *Transform) OpsFilter() int { return transformOps(t.G, t.Alpha, t.R) }
+
+// OpsOutput is the flop cost of one 2-D output transform Aᵀ·Π·A.
+func (t *Transform) OpsOutput() int { return transformOps(t.AT, t.M, t.Alpha) }
+
+func transformOps(m [][]float64, p, q int) int {
+	nnz := 0
+	for _, row := range m {
+		for _, v := range row {
+			if v != 0 {
+				nnz++
+			}
+		}
+	}
+	return 2 * (p + q) * nnz
+}
+
+// NewTransform builds the F(m, r) transform matrices. It returns an error if
+// m or r is too small or if the built-in point table cannot supply m+r−2
+// distinct finite points.
+func NewTransform(m, r int) (*Transform, error) {
+	if m < 1 || r < 1 {
+		return nil, fmt.Errorf("winograd: F(%d,%d) needs m,r >= 1", m, r)
+	}
+	alpha := m + r - 1
+	if alpha < 2 {
+		return nil, fmt.Errorf("winograd: F(%d,%d) is trivial; need m+r-1 >= 2", m, r)
+	}
+	nfinite := alpha - 1
+	if nfinite > len(defaultPoints) {
+		return nil, fmt.Errorf("winograd: F(%d,%d) needs %d points; only %d available",
+			m, r, nfinite, len(defaultPoints))
+	}
+	pts := defaultPoints[:nfinite]
+
+	at := vandermondeWithInfinity(pts, m)    // m×α (transposed evaluation)
+	g := evaluationMatrix(pts, r)            // α×r
+	bt := interpolationTranspose(pts, alpha) // α×α
+
+	return &Transform{M: m, R: r, Alpha: alpha, AT: at, G: g, BT: bt}, nil
+}
+
+// evaluationMatrix returns the α×w matrix Q with Q[i][j] = aᵢʲ for the
+// finite points and a final row selecting the leading coefficient (the point
+// at infinity).
+func evaluationMatrix(pts []*big.Rat, w int) [][]float64 {
+	alpha := len(pts) + 1
+	q := make([][]float64, alpha)
+	for i, a := range pts {
+		row := make([]float64, w)
+		p := big.NewRat(1, 1)
+		for j := 0; j < w; j++ {
+			row[j] = ratFloat(p)
+			p = new(big.Rat).Mul(p, a)
+		}
+		q[i] = row
+	}
+	inf := make([]float64, w)
+	inf[w-1] = 1
+	q[alpha-1] = inf
+	return q
+}
+
+// vandermondeWithInfinity returns the m×α transpose of evaluationMatrix:
+// AT[j][i] = aᵢʲ, with the infinity column contributing only to the highest
+// row.
+func vandermondeWithInfinity(pts []*big.Rat, m int) [][]float64 {
+	alpha := len(pts) + 1
+	q := evaluationMatrix(pts, m) // α×m
+	at := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		at[j] = make([]float64, alpha)
+		for i := 0; i < alpha; i++ {
+			at[j][i] = q[i][j]
+		}
+	}
+	return at
+}
+
+// interpolationTranspose returns Bᵀ = Eᵀ where E is the α×α interpolation
+// matrix recovering the coefficients of a degree-(α−1) polynomial from its
+// values at the finite points plus its leading coefficient:
+//
+//	s(x) = Σᵢ s(aᵢ)·Lᵢ(x) + s∞·(x^{α−1} − Σᵢ aᵢ^{α−1}·Lᵢ(x))
+//
+// with Lᵢ the Lagrange basis over the finite points.
+func interpolationTranspose(pts []*big.Rat, alpha int) [][]float64 {
+	n := len(pts) // = alpha-1 finite points
+	// Lagrange basis coefficients: lag[i][k] = coeff of x^k in L_i(x).
+	lag := make([][]*big.Rat, n)
+	for i := range pts {
+		lag[i] = lagrangeBasis(pts, i)
+	}
+	// E[k][i], k,i in [0,alpha).
+	e := make([][]*big.Rat, alpha)
+	for k := range e {
+		e[k] = make([]*big.Rat, alpha)
+		for i := range e[k] {
+			e[k][i] = new(big.Rat)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ { // deg L_i <= alpha-2
+			e[k][i].Set(lag[i][k])
+		}
+	}
+	// Infinity column: δ_{k,α−1} − Σᵢ aᵢ^{α−1}·lag[i][k].
+	e[alpha-1][n].SetInt64(1)
+	for i := 0; i < n; i++ {
+		lead := ratPow(pts[i], alpha-1)
+		for k := 0; k < n; k++ {
+			term := new(big.Rat).Mul(lead, lag[i][k])
+			e[k][n].Sub(e[k][n], term)
+		}
+	}
+	// Bᵀ = Eᵀ.
+	bt := make([][]float64, alpha)
+	for i := 0; i < alpha; i++ {
+		bt[i] = make([]float64, alpha)
+		for k := 0; k < alpha; k++ {
+			bt[i][k] = ratFloat(e[k][i])
+		}
+	}
+	return bt
+}
+
+// lagrangeBasis returns the coefficients (index = power of x) of
+// Lᵢ(x) = Π_{j≠i}(x−aⱼ)/(aᵢ−aⱼ), a polynomial of degree len(pts)−1.
+func lagrangeBasis(pts []*big.Rat, i int) []*big.Rat {
+	// Numerator: product of (x − aⱼ).
+	coeffs := []*big.Rat{big.NewRat(1, 1)}
+	denom := big.NewRat(1, 1)
+	for j, a := range pts {
+		if j == i {
+			continue
+		}
+		coeffs = polyMulLinear(coeffs, a)
+		diff := new(big.Rat).Sub(pts[i], a)
+		denom.Mul(denom, diff)
+	}
+	inv := new(big.Rat).Inv(denom)
+	out := make([]*big.Rat, len(pts))
+	for k := range out {
+		out[k] = new(big.Rat)
+		if k < len(coeffs) {
+			out[k].Mul(coeffs[k], inv)
+		}
+	}
+	return out
+}
+
+// polyMulLinear multiplies the polynomial given by coeffs with (x − a).
+func polyMulLinear(coeffs []*big.Rat, a *big.Rat) []*big.Rat {
+	out := make([]*big.Rat, len(coeffs)+1)
+	for k := range out {
+		out[k] = new(big.Rat)
+	}
+	for k, c := range coeffs {
+		out[k+1].Add(out[k+1], c)                  // x·c·x^k
+		out[k].Sub(out[k], new(big.Rat).Mul(a, c)) // −a·c·x^k
+	}
+	return out
+}
+
+func ratPow(a *big.Rat, n int) *big.Rat {
+	p := big.NewRat(1, 1)
+	for i := 0; i < n; i++ {
+		p.Mul(p, a)
+	}
+	return p
+}
+
+func ratFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

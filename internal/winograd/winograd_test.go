@@ -1,0 +1,219 @@
+package winograd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refCorrelate1D is the direct m-output correlation used as ground truth.
+func refCorrelate1D(d, g []float32, m int) []float32 {
+	r := len(g)
+	y := make([]float32, m)
+	for i := 0; i < m; i++ {
+		var s float64
+		for j := 0; j < r; j++ {
+			s += float64(d[i+j]) * float64(g[j])
+		}
+		y[i] = float32(s)
+	}
+	return y
+}
+
+// refCorrelate2D is the direct m×m-output 2-D correlation.
+func refCorrelate2D(d, g []float32, alpha, r, m int) []float32 {
+	y := make([]float32, m*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			var s float64
+			for p := 0; p < r; p++ {
+				for q := 0; q < r; q++ {
+					s += float64(d[(i+p)*alpha+j+q]) * float64(g[p*r+q])
+				}
+			}
+			y[i*m+j] = float32(s)
+		}
+	}
+	return y
+}
+
+func maxAbs(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNewTransformDims(t *testing.T) {
+	for _, c := range []struct{ m, r int }{{2, 3}, {4, 3}, {3, 2}, {2, 2}, {6, 3}, {2, 5}} {
+		tr, err := NewTransform(c.m, c.r)
+		if err != nil {
+			t.Fatalf("F(%d,%d): %v", c.m, c.r, err)
+		}
+		alpha := c.m + c.r - 1
+		if tr.Alpha != alpha {
+			t.Errorf("F(%d,%d): Alpha=%d want %d", c.m, c.r, tr.Alpha, alpha)
+		}
+		if len(tr.AT) != c.m || len(tr.AT[0]) != alpha {
+			t.Errorf("F(%d,%d): AT is %dx%d", c.m, c.r, len(tr.AT), len(tr.AT[0]))
+		}
+		if len(tr.G) != alpha || len(tr.G[0]) != c.r {
+			t.Errorf("F(%d,%d): G is %dx%d", c.m, c.r, len(tr.G), len(tr.G[0]))
+		}
+		if len(tr.BT) != alpha || len(tr.BT[0]) != alpha {
+			t.Errorf("F(%d,%d): BT is %dx%d", c.m, c.r, len(tr.BT), len(tr.BT[0]))
+		}
+	}
+}
+
+func TestNewTransformErrors(t *testing.T) {
+	if _, err := NewTransform(0, 3); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewTransform(2, 0); err == nil {
+		t.Error("r=0 accepted")
+	}
+	if _, err := NewTransform(1, 1); err == nil {
+		t.Error("trivial F(1,1) accepted")
+	}
+	if _, err := NewTransform(12, 9); err == nil {
+		t.Error("oversized transform accepted (not enough points)")
+	}
+}
+
+func TestCorrelate1DExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ m, r int }{{2, 3}, {4, 3}, {3, 2}, {2, 2}, {6, 3}} {
+		tr, err := NewTransform(c.m, c.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			d := make([]float32, tr.Alpha)
+			g := make([]float32, c.r)
+			for i := range d {
+				d[i] = rng.Float32()*2 - 1
+			}
+			for i := range g {
+				g[i] = rng.Float32()*2 - 1
+			}
+			got := tr.Correlate1D(d, g)
+			want := refCorrelate1D(d, g, c.m)
+			if diff := maxAbs(got, want); diff > 1e-4 {
+				t.Fatalf("F(%d,%d) trial %d: max diff %g", c.m, c.r, trial, diff)
+			}
+		}
+	}
+}
+
+func TestCorrelate2DExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []struct{ m, r int }{{2, 3}, {4, 3}, {3, 2}} {
+		tr, err := NewTransform(c.m, c.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alpha := tr.Alpha
+		for trial := 0; trial < 10; trial++ {
+			d := make([]float32, alpha*alpha)
+			g := make([]float32, c.r*c.r)
+			for i := range d {
+				d[i] = rng.Float32()*2 - 1
+			}
+			for i := range g {
+				g[i] = rng.Float32()*2 - 1
+			}
+			got := tr.Correlate2D(d, g)
+			want := refCorrelate2D(d, g, alpha, c.r, c.m)
+			if diff := maxAbs(got, want); diff > 1e-3 {
+				t.Fatalf("F(%dx%d,%dx%d) trial %d: max diff %g", c.m, c.m, c.r, c.r, trial, diff)
+			}
+		}
+	}
+}
+
+// The classic F(2,3) algorithm uses 4 multiplications; check our G·g against
+// the known structure: the transform of filter (g0,g1,g2) at points
+// {0,1,-1,∞} must be (g0, g0+g1+g2, g0−g1+g2, g2).
+func TestF23FilterEvaluations(t *testing.T) {
+	tr, err := NewTransform(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := []float32{3, 5, 7}
+	got := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			got[i] += tr.G[i][j] * float64(g[j])
+		}
+	}
+	want := []float64{3, 15, 5, 7}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("G·g[%d]=%v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: Winograd 1-D correlation matches the direct correlation for
+// arbitrary inputs (F(2,3) with quick-generated values).
+func TestCorrelate1DProperty(t *testing.T) {
+	tr, err := NewTransform(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(d0, d1, d2, d3, g0, g1, g2 int8) bool {
+		d := []float32{float32(d0), float32(d1), float32(d2), float32(d3)}
+		g := []float32{float32(g0), float32(g1), float32(g2)}
+		got := tr.Correlate1D(d, g)
+		want := refCorrelate1D(d, g, 2)
+		return maxAbs(got, want) <= 1e-2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the transforms are linear in the filter: F(αg) = α·F(g).
+func TestFilterTransformLinearity(t *testing.T) {
+	tr, err := NewTransform(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(vals [9]int8, scale int8) bool {
+		g := make([]float32, 9)
+		gs := make([]float32, 9)
+		for i, v := range vals {
+			g[i] = float32(v)
+			gs[i] = float32(v) * float32(scale)
+		}
+		u := make([]float32, tr.Alpha*tr.Alpha)
+		us := make([]float32, tr.Alpha*tr.Alpha)
+		tr.FilterTransform(u, g)
+		tr.FilterTransform(us, gs)
+		for i := range u {
+			if math.Abs(float64(us[i])-float64(scale)*float64(u[i])) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyPanicsOnShortBuffer(t *testing.T) {
+	tr, _ := NewTransform(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for short buffer")
+		}
+	}()
+	tr.InputTransform(make([]float32, 3), make([]float32, 16))
+}

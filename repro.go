@@ -1,0 +1,240 @@
+// Package repro is a Go reproduction of "I/O Lower Bounds for Auto-tuning of
+// Convolutions in CNNs" (PPoPP 2021): the red–blue-pebble-game I/O
+// lower-bound theory for composite algorithms, its instantiation for the
+// direct and Winograd convolution algorithms, the near I/O-optimal dataflow
+// designs the bounds suggest, and the optimality-condition-pruned
+// auto-tuning engine — all running against a deterministic simulated GPU
+// memory hierarchy (see internal/memsim) instead of CUDA hardware.
+//
+// This root package is the public facade: it re-exports the types a
+// downstream user needs and wraps the common workflows (bound queries,
+// running the dataflows, tuning a layer). The full machinery lives in the
+// internal packages; the example programs under examples/ and the
+// experiment regeneration harness under cmd/repro are built on this API.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/autotune"
+	"repro/internal/bounds"
+	"repro/internal/conv"
+	"repro/internal/core"
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+// Shape describes one convolution layer (batch, channels, spatial dims,
+// kernel, stride μ, padding).
+type Shape = shapes.ConvShape
+
+// Arch is a simulated accelerator description.
+type Arch = memsim.Arch
+
+// Config is one point of the Table-1 configuration space: output tile,
+// thread-block geometry, shared memory and layout.
+type Config = conv.Config
+
+// Result is the outcome of a simulated convolution: the output tensor (nil
+// for count-only runs), exact I/O counts, and the modeled runtime.
+type Result = conv.Result
+
+// Tensor is a dense float32 tensor.
+type Tensor = tensor.Tensor
+
+// Tile is an output sub-block x×y×z.
+type Tile = bounds.Tile
+
+// TuneTrace records a tuning run: the best configuration and the
+// best-so-far curve.
+type TuneTrace = autotune.Trace
+
+// Architectures returns the built-in simulated GPU catalog (1080Ti, TitanX,
+// V100, GFX906).
+func Architectures() []Arch { return memsim.Catalog }
+
+// ArchByName looks up a catalog architecture ("V100", "1080Ti", ...).
+func ArchByName(name string) (Arch, error) { return memsim.ByName(name) }
+
+// NewShape builds a square-image layer, the common case in the paper's
+// evaluation.
+func NewShape(batch, cin, hw, cout, kernel, stride, pad int) (Shape, error) {
+	s := Shape{Batch: batch, Cin: cin, Hin: hw, Win: hw, Cout: cout,
+		Hker: kernel, Wker: kernel, Strid: stride, Pad: pad}
+	return s, s.Validate()
+}
+
+// LowerBoundDirect is Theorem 4.12: the minimum off-chip data movement (in
+// elements) of the direct convolution with fast memory of S elements.
+func LowerBoundDirect(s Shape, fastMem int) float64 {
+	return bounds.DirectLowerBound(s, fastMem)
+}
+
+// LowerBoundWinograd is Theorem 4.20 for the Winograd algorithm F(e×e, r×r).
+func LowerBoundWinograd(s Shape, e, fastMem int) float64 {
+	return bounds.WinogradLowerBound(s, e, fastMem)
+}
+
+// DataflowIODirect is Equation 21: the off-chip traffic of the Section 5.2
+// dataflow at its optimal tile for fast memory S shared by np processors.
+func DataflowIODirect(s Shape, fastMem, np int) float64 {
+	return bounds.DirectDataflowIOOptimal(s, fastMem, np)
+}
+
+// DataflowIOWinograd is Equation 23 for the Section 5.3 Winograd dataflow.
+func DataflowIOWinograd(s Shape, e, fastMem, np int) float64 {
+	return bounds.WinogradDataflowIOOptimal(s, e, fastMem, np)
+}
+
+// OptimalTileDirect returns the continuous-optimum output tile satisfying
+// the paper's optimality condition x·y = R·z.
+func OptimalTileDirect(s Shape, fastMem, np int) Tile {
+	return bounds.OptimalTileDirect(s, fastMem, np)
+}
+
+// RandomOperands builds deterministic random input and kernel tensors.
+func RandomOperands(s Shape, seed int64) (input, kernels *Tensor) {
+	return conv.RandomOperands(s, seed)
+}
+
+// Reference computes the convolution with the plain CPU oracle.
+func Reference(s Shape, input, kernels *Tensor) (*Tensor, error) {
+	return conv.Reference(s, input, kernels)
+}
+
+// DefaultDirectConfig is the untuned Section 5.2 dataflow design for a
+// layer: optimality-condition tile sized to S/Np.
+func DefaultDirectConfig(arch Arch, s Shape) Config {
+	return conv.DefaultDirectConfig(arch, s)
+}
+
+// DefaultWinogradConfig is the untuned Section 5.3 design for F(e×e, r×r).
+func DefaultWinogradConfig(arch Arch, s Shape, e int) Config {
+	return conv.DefaultWinogradConfig(arch, s, e)
+}
+
+// RunDirect executes the I/O-optimal direct dataflow on the simulated
+// architecture, computing real values and exact I/O counts.
+func RunDirect(arch Arch, s Shape, cfg Config, input, kernels *Tensor) (*Result, error) {
+	return conv.DirectTiled(arch, s, cfg, input, kernels)
+}
+
+// RunWinograd executes the fused Winograd dataflow.
+func RunWinograd(arch Arch, s Shape, cfg Config, input, kernels *Tensor) (*Result, error) {
+	return conv.WinogradFused(arch, s, cfg, input, kernels)
+}
+
+// MeasureDirect returns the exact counts and simulated time of the direct
+// dataflow without computing values (fast, any scale).
+func MeasureDirect(arch Arch, s Shape, cfg Config) (*Result, error) {
+	return conv.DirectTiledDry(arch, s, cfg)
+}
+
+// MeasureWinograd is MeasureDirect for the fused Winograd dataflow.
+func MeasureWinograd(arch Arch, s Shape, cfg Config) (*Result, error) {
+	return conv.WinogradFusedDry(arch, s, cfg)
+}
+
+// MeasureLibraryDirect returns the better of the two library direct paths
+// (naive, im2col+GEMM) — the baseline the paper compares against.
+func MeasureLibraryDirect(arch Arch, s Shape) (*Result, error) {
+	naive, err := conv.NaiveDirectDry(arch, s)
+	if err != nil {
+		return nil, err
+	}
+	col, err := conv.Im2colGEMMDry(arch, s)
+	if err != nil {
+		return nil, err
+	}
+	if naive.Seconds < col.Seconds {
+		return naive, nil
+	}
+	return col, nil
+}
+
+// MeasureLibraryWinograd returns the unfused library-style Winograd
+// pipeline's counts and simulated time.
+func MeasureLibraryWinograd(arch Arch, s Shape, e int) (*Result, error) {
+	return conv.WinogradUnfusedDry(arch, s, e)
+}
+
+// MeasureImplicitGEMM returns the implicit-GEMM direct algorithm's counts
+// and simulated time — the modern library path, provided as an extension
+// beyond the paper's cuDNN-7-era baselines.
+func MeasureImplicitGEMM(arch Arch, s Shape) (*Result, error) {
+	return conv.ImplicitGEMMDry(arch, s)
+}
+
+// MeasureFFTConv returns the frequency-domain convolution's counts and
+// simulated time — the other indirect method of the paper's taxonomy,
+// competitive only at large kernel sizes.
+func MeasureFFTConv(arch Arch, s Shape) (*Result, error) {
+	return conv.FFTConvDry(arch, s)
+}
+
+// TuneOptions controls a tuning run; the zero value selects defaults.
+type TuneOptions struct {
+	// Budget is the maximum number of measurements (default 400).
+	Budget int
+	// Seed makes the run deterministic (default 1).
+	Seed int64
+}
+
+func (o TuneOptions) lower() autotune.Options {
+	opts := autotune.DefaultOptions()
+	if o.Budget > 0 {
+		opts.Budget = o.Budget
+	}
+	if o.Seed != 0 {
+		opts.Seed = o.Seed
+	}
+	return opts
+}
+
+// TuneDirect runs the paper's auto-tuning engine on the
+// optimality-condition-pruned searching domain for the direct dataflow.
+func TuneDirect(arch Arch, s Shape, o TuneOptions) (*TuneTrace, error) {
+	sp, err := autotune.NewSpace(s, arch, autotune.Direct, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.Tune(sp, autotune.DirectMeasurer(arch, s), o.lower())
+}
+
+// TuneWinograd runs the engine for the fused Winograd dataflow (tile edge
+// e ∈ {2, 4} is part of the search).
+func TuneWinograd(arch Arch, s Shape, o TuneOptions) (*TuneTrace, error) {
+	sp, err := autotune.NewSpace(s, arch, autotune.Winograd, 2, true)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.Tune(sp, autotune.WinogradMeasurer(arch, s), o.lower())
+}
+
+// Analysis is the complete bound→design→tune report of one layer.
+type Analysis = core.Analysis
+
+// Analyze runs the paper's whole pipeline on one layer: lower bounds,
+// Section-5 dataflow designs, auto-tuned refinements and measured outcomes
+// for every applicable algorithm.
+func Analyze(arch Arch, s Shape, o TuneOptions) (*Analysis, error) {
+	return core.Analyze(arch, s, core.Options{Budget: o.Budget, Seed: o.Seed})
+}
+
+// Verify checks that a result's output matches the reference oracle within
+// tol, returning the max absolute difference.
+func Verify(s Shape, res *Result, input, kernels *Tensor, tol float64) (float64, error) {
+	if res.Output == nil {
+		return 0, fmt.Errorf("repro: result has no output tensor (count-only run)")
+	}
+	want, err := conv.Reference(s, input, kernels)
+	if err != nil {
+		return 0, err
+	}
+	diff := tensor.MaxAbsDiff(res.Output, want)
+	if diff > tol {
+		return diff, fmt.Errorf("repro: output differs from reference by %g (tol %g)", diff, tol)
+	}
+	return diff, nil
+}
