@@ -9,13 +9,16 @@ package repro
 // results record.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/autotune"
 	"repro/internal/conv"
 	"repro/internal/dag"
 	"repro/internal/experiments"
 	"repro/internal/memsim"
+	"repro/internal/models"
 	"repro/internal/pebble"
 	"repro/internal/report"
 	"repro/internal/shapes"
@@ -260,6 +263,53 @@ func BenchmarkAblationEviction(b *testing.B) {
 	}
 	b.ReportMetric(float64(belady), "Q-belady")
 	b.ReportMetric(float64(lru), "Q-lru")
+}
+
+// BenchmarkTuneNetwork measures the network-level tuning engine on the
+// ResNet-18 layer sweep. Each per-candidate measurement carries an emulated
+// hardware round-trip (compile + launch + read-back), the latency real
+// auto-tuners hide by parallelizing measurement; the workers=N sub-benchmarks
+// fan both the layers and each measurement batch across N goroutines.
+// Wall-clock should drop ≥ 2x from workers=1 to workers=4 while the tuned
+// configurations stay bit-identical (the benchmark fails otherwise).
+func BenchmarkTuneNetwork(b *testing.B) {
+	arch := memsim.V100
+	model := models.ResNet18()
+	layers := make([]autotune.NetworkLayer, len(model.Layers))
+	for i, l := range model.Layers {
+		layers[i] = autotune.NetworkLayer{Name: l.Name, Shape: l.Shape, Repeat: l.Repeat}
+	}
+	tune := autotune.DefaultOptions()
+	tune.Budget = 32
+	tune.Patience = 0
+	tune.Seed = 1
+	tune.MeasureLatency = 500 * time.Microsecond
+
+	var reference []autotune.LayerVerdict
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t := tune
+				t.Workers = w
+				// Fresh cache per iteration so every run performs the full sweep.
+				verdicts, err := autotune.TuneNetwork(arch, layers, autotune.NewCache(),
+					autotune.NetworkOptions{Tune: t, Workers: w, Winograd: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if reference == nil {
+					reference = verdicts
+				}
+				for j := range verdicts {
+					if verdicts[j].Config != reference[j].Config || verdicts[j].Kind != reference[j].Kind {
+						b.Fatalf("layer %s: workers=%d verdict %v diverges from %v",
+							layers[j].Name, w, verdicts[j].Config, reference[j].Config)
+					}
+				}
+				b.ReportMetric(autotune.NetworkSeconds(verdicts)*1e3, "tuned-network-ms")
+			}
+		})
+	}
 }
 
 // BenchmarkDirectTiledWet measures the wall-clock cost of the wet (real

@@ -5,6 +5,7 @@
 //
 //	autotune -cin 96 -hw 27 -cout 256 -k 5 -pad 2 -arch V100 -budget 300
 //	autotune -algo winograd -cin 256 -hw 13 -cout 384 -k 3 -pad 1
+//	autotune -workers 8 -measure-latency 500us -cin 96 -hw 27 -cout 256 -k 5 -pad 2
 package main
 
 import (
@@ -28,6 +29,8 @@ func main() {
 	algo := flag.String("algo", "direct", "direct|winograd")
 	budget := flag.Int("budget", 300, "measurement budget")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "parallel measurement workers (result is identical for any count)")
+	latency := flag.Duration("measure-latency", 0, "emulated per-measurement hardware round-trip (e.g. 500us)")
 	emit := flag.Bool("emit", false, "print the kernel schedule of the winning configuration")
 	cachePath := flag.String("cache", "", "tuning-cache JSON file (read if present, updated on exit)")
 	flag.Parse()
@@ -67,7 +70,7 @@ func main() {
 		return
 	}
 
-	opts := repro.TuneOptions{Budget: *budget, Seed: *seed}
+	opts := repro.TuneOptions{Budget: *budget, Seed: *seed, Workers: *workers, MeasureLatency: *latency}
 	var trace *repro.TuneTrace
 	switch kind {
 	case autotune.Direct:

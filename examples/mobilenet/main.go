@@ -2,8 +2,9 @@
 // depthwise-separable network (MobileNet v1, one of the architectures the
 // paper's introduction motivates). Grouped/depthwise layers are folded into
 // the batch dimension — G groups of a small convolution launched together —
-// which preserves I/O, flops and parallelism exactly, and the paper's
-// dataflow + tuner runs unchanged on the folded shapes.
+// which preserves I/O, flops and parallelism exactly, and the network-level
+// tuner runs unchanged on the folded shapes, tuning layers concurrently
+// against a shared cache.
 //
 // Run with: go run ./examples/mobilenet
 package main
@@ -28,25 +29,32 @@ func main() {
 	fmt.Printf("%s on simulated %s (%.2f GFLOP per image)\n\n",
 		model.Name, arch.Name, float64(model.TotalFLOPs())/1e9)
 
-	const budget = 48
+	layers := make([]repro.NetworkLayer, len(model.Layers))
+	for i, l := range model.Layers {
+		layers[i] = repro.NetworkLayer{Name: l.Name, Shape: l.EffectiveShape(), Repeat: l.Repeat}
+	}
+	verdicts, err := repro.TuneNetwork(arch, layers, repro.NewTuningCache(), repro.NetworkTuneOptions{
+		Budget:       48,
+		Seed:         1,
+		LayerWorkers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var totalBase, totalTuned float64
 	fmt.Printf("%-8s %7s %28s %12s %12s %9s\n", "layer", "groups", "effective shape", "library", "tuned", "speedup")
-	for _, layer := range model.Layers {
-		s := layer.EffectiveShape()
-		lib, err := repro.MeasureLibraryDirect(arch, s)
+	for i, v := range verdicts {
+		lib, err := repro.MeasureLibraryDirect(arch, v.Layer.Shape)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tuned, err := repro.TuneDirect(arch, s, repro.TuneOptions{Budget: budget})
-		if err != nil {
-			log.Fatal(err)
-		}
-		base := lib.Seconds * float64(layer.Repeat)
-		best := tuned.BestM.Seconds * float64(layer.Repeat)
+		base := lib.Seconds * float64(v.Layer.Repeat)
+		best := v.M.Seconds * float64(v.Layer.Repeat)
 		totalBase += base
 		totalTuned += best
 		fmt.Printf("%-8s %7d %28v %10.0fus %10.0fus %8.2fx\n",
-			layer.Name, layer.Groups, s, base*1e6, best*1e6, base/best)
+			v.Layer.Name, model.Layers[i].Groups, v.Layer.Shape, base*1e6, best*1e6, base/best)
 	}
 	fmt.Printf("\nend-to-end convolution time: library %.2fms, tuned %.2fms -> %.2fx speedup\n",
 		totalBase*1e3, totalTuned*1e3, totalBase/totalTuned)

@@ -1,8 +1,9 @@
 // The resnet example runs the Figure-12 style end-to-end comparison on
-// ResNet-18: every convolution layer is tuned with the paper's engine (best
-// of the direct and fused-Winograd dataflows) and the summed simulated
-// inference time is compared with the library baseline (best of its
-// algorithms per layer).
+// ResNet-18 through the network-level tuning API: every convolution layer
+// is tuned concurrently with the paper's engine (best of the direct and
+// fused-Winograd dataflows), layers with identical shapes share one search
+// through the tuning cache, and the summed simulated inference time is
+// compared with the library baseline (best of its algorithms per layer).
 //
 // Run with: go run ./examples/resnet
 package main
@@ -24,40 +25,44 @@ func main() {
 	fmt.Printf("%s on simulated %s (%.1f GFLOP per image)\n\n",
 		model.Name, arch.Name, float64(model.TotalFLOPs())/1e9)
 
-	const budget = 64
+	layers := make([]repro.NetworkLayer, len(model.Layers))
+	for i, l := range model.Layers {
+		layers[i] = repro.NetworkLayer{Name: l.Name, Shape: l.Shape, Repeat: l.Repeat}
+	}
+	verdicts, err := repro.TuneNetwork(arch, layers, repro.NewTuningCache(), repro.NetworkTuneOptions{
+		Budget:       64,
+		Seed:         1,
+		LayerWorkers: 4,
+		Winograd:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var totalBase, totalTuned float64
-	fmt.Printf("%-14s %28s %12s %12s %9s %6s\n",
+	fmt.Printf("%-14s %28s %12s %12s %9s %9s\n",
 		"layer", "shape", "library", "tuned", "speedup", "algo")
-	for _, layer := range model.Layers {
-		lib, err := repro.MeasureLibraryDirect(arch, layer.Shape)
+	for _, v := range verdicts {
+		lib, err := repro.MeasureLibraryDirect(arch, v.Layer.Shape)
 		if err != nil {
 			log.Fatal(err)
 		}
 		base := lib.Seconds
-		if layer.Shape.WinogradOK() && layer.Shape.Hker == 3 {
-			if wu, err := repro.MeasureLibraryWinograd(arch, layer.Shape, 2); err == nil && wu.Seconds < base {
+		if v.Layer.Shape.WinogradOK() && v.Layer.Shape.Hker == 3 {
+			if wu, err := repro.MeasureLibraryWinograd(arch, v.Layer.Shape, 2); err == nil && wu.Seconds < base {
 				base = wu.Seconds
 			}
 		}
-
-		tuned, err := repro.TuneDirect(arch, layer.Shape, repro.TuneOptions{Budget: budget})
-		if err != nil {
-			log.Fatal(err)
+		algo := v.Kind.String()
+		if v.Shared {
+			algo += "*"
 		}
-		best := tuned.BestM.Seconds
-		algo := "direct"
-		if layer.Shape.WinogradOK() && layer.Shape.Hker == 3 {
-			if wt, err := repro.TuneWinograd(arch, layer.Shape, repro.TuneOptions{Budget: budget}); err == nil &&
-				wt.BestM.Seconds < best {
-				best = wt.BestM.Seconds
-				algo = fmt.Sprintf("wino e=%d", wt.Best.WinogradE)
-			}
-		}
-		totalBase += base * float64(layer.Repeat)
-		totalTuned += best * float64(layer.Repeat)
-		fmt.Printf("%-14s %28v %10.0fus %10.0fus %8.2fx %6s  x%d\n",
-			layer.Name, layer.Shape, base*1e6, best*1e6, base/best, algo, layer.Repeat)
+		totalBase += base * float64(v.Layer.Repeat)
+		totalTuned += v.M.Seconds * float64(v.Layer.Repeat)
+		fmt.Printf("%-14s %28v %10.0fus %10.0fus %8.2fx %9s  x%d\n",
+			v.Layer.Name, v.Layer.Shape, base*1e6, v.M.Seconds*1e6, base/v.M.Seconds, algo, v.Layer.Repeat)
 	}
-	fmt.Printf("\nend-to-end convolution time: library %.2fms, tuned %.2fms -> %.2fx speedup\n",
+	fmt.Printf("\n(* = verdict shared via the tuning cache, no extra search)\n")
+	fmt.Printf("end-to-end convolution time: library %.2fms, tuned %.2fms -> %.2fx speedup\n",
 		totalBase*1e3, totalTuned*1e3, totalBase/totalTuned)
 }

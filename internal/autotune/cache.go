@@ -16,10 +16,31 @@ import (
 // Cache persists tuning outcomes per (architecture, algorithm, layer shape),
 // the way production libraries cache their autotuner's verdicts so repeated
 // runs skip the search. Entries round-trip through JSON; the cache is safe
-// for concurrent use.
+// for concurrent use. The entry map is sharded by key hash so the
+// concurrent layer tuners of TuneNetwork don't contend on one lock, and an
+// in-flight table deduplicates concurrent tuning of identical keys: when
+// two goroutines ask for the same (arch, algorithm, shape) at once, one
+// runs the search and the other waits for its verdict.
 type Cache struct {
+	shards [cacheShards]cacheShard
+
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+}
+
+const cacheShards = 32
+
+type cacheShard struct {
 	mu      sync.RWMutex
 	entries map[string]CacheEntry
+}
+
+// flightCall is one in-progress tuning run other goroutines can wait on.
+type flightCall struct {
+	done chan struct{}
+	cfg  conv.Config
+	m    Measurement
+	err  error
 }
 
 // CacheEntry is one persisted tuning outcome.
@@ -47,32 +68,55 @@ type cachedConfig struct {
 }
 
 // NewCache returns an empty cache.
-func NewCache() *Cache { return &Cache{entries: make(map[string]CacheEntry)} }
+func NewCache() *Cache {
+	c := &Cache{flight: make(map[string]*flightCall)}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]CacheEntry)
+	}
+	return c
+}
 
 func cacheKey(archName string, kind Kind, s shapes.ConvShape) string {
 	return fmt.Sprintf("%s|%s|%d,%d,%d,%d,%d,%d,%d,%d,%d", archName, kind,
 		s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad)
 }
 
+// shardFor picks the shard of a key (FNV-1a).
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+func (c *Cache) put(key string, e CacheEntry) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	sh.entries[key] = e
+	sh.mu.Unlock()
+}
+
 // Put stores a tuning outcome.
 func (c *Cache) Put(archName string, kind Kind, s shapes.ConvShape, cfg conv.Config, m Measurement) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[cacheKey(archName, kind, s)] = CacheEntry{
+	c.put(cacheKey(archName, kind, s), CacheEntry{
 		Arch: archName, Kind: kind.String(),
 		Shape: cachedShape{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad},
 		Config: cachedConfig{cfg.TileX, cfg.TileY, cfg.TileZ,
 			cfg.ThreadsX, cfg.ThreadsY, cfg.ThreadsZ,
 			cfg.SharedPerBlock, int(cfg.Layout), cfg.WinogradE},
 		Seconds: m.Seconds, GFLOPS: m.GFLOPS,
-	}
+	})
 }
 
 // Get retrieves a cached outcome, if any.
 func (c *Cache) Get(archName string, kind Kind, s shapes.ConvShape) (conv.Config, Measurement, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.entries[cacheKey(archName, kind, s)]
+	key := cacheKey(archName, kind, s)
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.entries[key]
+	sh.mu.RUnlock()
 	if !ok {
 		return conv.Config{}, Measurement{}, false
 	}
@@ -88,23 +132,41 @@ func (c *Cache) Get(archName string, kind Kind, s shapes.ConvShape) (conv.Config
 
 // Len reports the number of cached entries.
 func (c *Cache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// snapshot copies every entry keyed by cache key.
+func (c *Cache) snapshot() map[string]CacheEntry {
+	all := make(map[string]CacheEntry)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.entries {
+			all[k] = e
+		}
+		sh.mu.RUnlock()
+	}
+	return all
 }
 
 // Save writes the cache as deterministic (key-sorted) JSON.
 func (c *Cache) Save(w io.Writer) error {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
+	all := c.snapshot()
+	keys := make([]string, 0, len(all))
+	for k := range all {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	ordered := make([]CacheEntry, 0, len(keys))
 	for _, k := range keys {
-		ordered = append(ordered, c.entries[k])
+		ordered = append(ordered, all[k])
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -117,8 +179,6 @@ func (c *Cache) Load(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&entries); err != nil {
 		return fmt.Errorf("autotune: cache decode: %w", err)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, e := range entries {
 		s := shapes.ConvShape{
 			Batch: e.Shape.Batch, Cin: e.Shape.Cin, Hin: e.Shape.Hin, Win: e.Shape.Win,
@@ -132,7 +192,7 @@ func (c *Cache) Load(r io.Reader) error {
 		if e.Kind == Winograd.String() {
 			kind = Winograd
 		}
-		c.entries[cacheKey(e.Arch, kind, s)] = e
+		c.put(cacheKey(e.Arch, kind, s), e)
 	}
 	return nil
 }
@@ -158,15 +218,46 @@ func (c *Cache) LoadFile(path string) error {
 }
 
 // TuneCached returns the cached best for (arch, kind, shape) or runs the
-// engine and caches its verdict.
+// engine and caches its verdict. Concurrent callers with the same key share
+// one search.
 func TuneCached(cache *Cache, sp *Space, measure Measurer, opts Options) (conv.Config, Measurement, error) {
+	cfg, m, _, err := tuneShared(cache, sp, measure, opts)
+	return cfg, m, err
+}
+
+// tuneShared is TuneCached plus a report of whether the verdict was shared:
+// satisfied from the cache, or joined onto another goroutine's in-flight
+// search of the same key instead of running its own.
+func tuneShared(cache *Cache, sp *Space, measure Measurer, opts Options) (conv.Config, Measurement, bool, error) {
+	key := cacheKey(sp.Arch.Name, sp.Kind, sp.Shape)
 	if cfg, m, ok := cache.Get(sp.Arch.Name, sp.Kind, sp.Shape); ok {
-		return cfg, m, nil
+		return cfg, m, true, nil
 	}
+	cache.flightMu.Lock()
+	if call, ok := cache.flight[key]; ok {
+		cache.flightMu.Unlock()
+		<-call.done
+		return call.cfg, call.m, true, call.err
+	}
+	// Re-check under the flight lock: a racing search may have completed —
+	// Put then delete its flight entry — between the Get above and here.
+	if cfg, m, ok := cache.Get(sp.Arch.Name, sp.Kind, sp.Shape); ok {
+		cache.flightMu.Unlock()
+		return cfg, m, true, nil
+	}
+	call := &flightCall{done: make(chan struct{})}
+	cache.flight[key] = call
+	cache.flightMu.Unlock()
+
 	tr, err := Tune(sp, measure, opts)
-	if err != nil {
-		return conv.Config{}, Measurement{}, err
+	if err == nil {
+		call.cfg, call.m = tr.Best, tr.BestM
+		cache.Put(sp.Arch.Name, sp.Kind, sp.Shape, tr.Best, tr.BestM)
 	}
-	cache.Put(sp.Arch.Name, sp.Kind, sp.Shape, tr.Best, tr.BestM)
-	return tr.Best, tr.BestM, nil
+	call.err = err
+	close(call.done)
+	cache.flightMu.Lock()
+	delete(cache.flight, key)
+	cache.flightMu.Unlock()
+	return call.cfg, call.m, false, err
 }

@@ -1,0 +1,72 @@
+package autotune
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/conv"
+)
+
+// This file is the measurement executor of the engine: each iteration the
+// tuner hands it one batch of candidate configurations and it fans the
+// measurements out across Workers goroutines, the way production
+// auto-tuners (TVM's RPC runner, Bolt) parallelize on-device measurement
+// to hide its latency. Results come back indexed by submission order, so
+// the engine's bookkeeping — and therefore the whole tuning run — is
+// bit-identical for any worker count.
+
+// measured is one measurement outcome, slotted by submission index.
+type measured struct {
+	m  Measurement
+	ok bool
+}
+
+// measureAll measures cfgs[i] into result[i], fanning the calls across up
+// to workers goroutines. latency emulates the per-measurement hardware
+// round-trip (compile + launch + read-back) that the dry simulator
+// otherwise elides; overlapping those waits is where a multi-worker
+// executor pays off on real devices. The Measurer must be safe for
+// concurrent use when workers > 1.
+func measureAll(measure Measurer, cfgs []conv.Config, workers int, latency time.Duration) []measured {
+	out := make([]measured, len(cfgs))
+	run := func(i int) {
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		out[i].m, out[i].ok = measure(cfgs[i])
+	}
+	fanIndexed(len(cfgs), workers, run)
+	return out
+}
+
+// fanIndexed calls fn(0) … fn(n-1), fanning the calls across up to workers
+// goroutines (serially for workers <= 1). It is the worker-pool primitive
+// shared by the measurement executor and the network-level tuner.
+func fanIndexed(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

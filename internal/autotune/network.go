@@ -1,0 +1,123 @@
+package autotune
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/conv"
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+)
+
+// This file is the network-level tuning API: one call tunes every
+// convolution layer of a CNN concurrently against a shared cache. Layers
+// with identical (arch, algorithm, shape) keys are deduplicated — the
+// repeated 3×3 blocks of a ResNet stage tune once and share the verdict —
+// mirroring how key-based autotuner caches amortize search across a model.
+
+// NetworkLayer is one layer of a network-level tuning request. Grouped or
+// depthwise layers should be folded to their effective shape first (see
+// models.GroupedLayer.EffectiveShape).
+type NetworkLayer struct {
+	Name   string
+	Shape  shapes.ConvShape
+	Repeat int // occurrences of this exact shape in the network (≥ 1)
+}
+
+// NetworkOptions controls a TuneNetwork run.
+type NetworkOptions struct {
+	// Tune holds the per-layer engine options (Budget, Seed, Workers, ...).
+	// The same options — and therefore the same deterministic verdict per
+	// shape — apply to every layer.
+	Tune Options
+	// Workers is how many layers are tuned concurrently (default
+	// GOMAXPROCS). Correctness and output do not depend on it.
+	Workers int
+	// Winograd also tunes the fused Winograd dataflow for 3×3 unit-stride
+	// layers and keeps the better verdict, as the paper's end-to-end
+	// evaluation does.
+	Winograd bool
+}
+
+// LayerVerdict is the tuning outcome of one network layer.
+type LayerVerdict struct {
+	Layer  NetworkLayer
+	Kind   Kind
+	Config conv.Config
+	M      Measurement
+	// Shared is true when the verdict did not run its own search: it was
+	// satisfied from the cache or deduplicated onto a concurrent search of
+	// an identical layer.
+	Shared bool
+}
+
+// TuneNetwork tunes every layer of a network with the paper's engine,
+// fanning layers across opts.Workers goroutines and sharing cache. Verdicts
+// come back in layer order and, for a fixed opts.Tune.Seed, are identical
+// for any Workers/opts.Tune.Workers setting. cache may be nil for a
+// throwaway run; passing a loaded persistent cache skips already-tuned
+// layers entirely.
+func TuneNetwork(arch memsim.Arch, layers []NetworkLayer, cache *Cache, opts NetworkOptions) ([]LayerVerdict, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("autotune: no layers to tune")
+	}
+	if cache == nil {
+		cache = NewCache()
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	verdicts := make([]LayerVerdict, len(layers))
+	errs := make([]error, len(layers))
+	fanIndexed(len(layers), workers, func(i int) {
+		verdicts[i], errs[i] = tuneLayer(arch, layers[i], cache, opts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("autotune: layer %q: %w", layers[i].Name, err)
+		}
+	}
+	return verdicts, nil
+}
+
+// tuneLayer produces the best verdict for one layer: the tuned direct
+// dataflow, improved by the tuned fused-Winograd dataflow where it applies
+// and wins.
+func tuneLayer(arch memsim.Arch, l NetworkLayer, cache *Cache, opts NetworkOptions) (LayerVerdict, error) {
+	v := LayerVerdict{Layer: l, Kind: Direct}
+	sp, err := NewSpace(l.Shape, arch, Direct, 0, true)
+	if err != nil {
+		return v, err
+	}
+	cfg, m, shared, err := tuneShared(cache, sp, DirectMeasurer(arch, l.Shape), opts.Tune)
+	if err != nil {
+		return v, err
+	}
+	v.Config, v.M, v.Shared = cfg, m, shared
+	if opts.Winograd && l.Shape.WinogradOK() && l.Shape.Hker == 3 {
+		wsp, werr := NewSpace(l.Shape, arch, Winograd, 2, true)
+		if werr == nil {
+			// Winograd may legitimately find no valid configuration for a
+			// layer (e.g. tiny spatial dims); the direct verdict stands.
+			if wcfg, wm, wshared, werr := tuneShared(cache, wsp, WinogradMeasurer(arch, l.Shape), opts.Tune); werr == nil && wm.Seconds < v.M.Seconds {
+				v.Kind, v.Config, v.M, v.Shared = Winograd, wcfg, wm, wshared
+			}
+		}
+	}
+	return v, nil
+}
+
+// NetworkSeconds sums repeat-weighted simulated layer times — the
+// end-to-end convolution time of the tuned network.
+func NetworkSeconds(verdicts []LayerVerdict) float64 {
+	var t float64
+	for _, v := range verdicts {
+		r := v.Layer.Repeat
+		if r < 1 {
+			r = 1
+		}
+		t += v.M.Seconds * float64(r)
+	}
+	return t
+}

@@ -1,0 +1,168 @@
+package autotune
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/conv"
+	"repro/internal/shapes"
+)
+
+// TestTuneWorkersDeterministic is the executor's contract: the same seed
+// and budget yield a bit-identical trace (best config, curve, convergence
+// point) whether the batch is measured by 1 goroutine or 8.
+func TestTuneWorkersDeterministic(t *testing.T) {
+	s := layer()
+	measure := DirectMeasurer(arch, s)
+	run := func(workers int) *Trace {
+		sp := mustSpace(t, true)
+		opts := smallOpts(64, 7)
+		opts.Workers = workers
+		tr, err := Tune(sp, measure, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return tr
+	}
+	t1, t8 := run(1), run(8)
+	if t1.Best != t8.Best {
+		t.Errorf("best config differs: workers=1 %v, workers=8 %v", t1.Best, t8.Best)
+	}
+	if t1.BestM != t8.BestM {
+		t.Errorf("best measurement differs: %v vs %v", t1.BestM, t8.BestM)
+	}
+	if t1.Measurements != t8.Measurements || t1.ConvergedAt != t8.ConvergedAt {
+		t.Errorf("bookkeeping differs: (%d,%d) vs (%d,%d)",
+			t1.Measurements, t1.ConvergedAt, t8.Measurements, t8.ConvergedAt)
+	}
+	if !reflect.DeepEqual(t1.Curve, t8.Curve) {
+		t.Error("convergence curves differ across worker counts")
+	}
+}
+
+func resnetBlockLayers() []NetworkLayer {
+	c := func(cin, hw, cout, k, stride, pad int) shapes.ConvShape {
+		return shapes.ConvShape{Batch: 1, Cin: cin, Hin: hw, Win: hw, Cout: cout,
+			Hker: k, Wker: k, Strid: stride, Pad: pad}
+	}
+	return []NetworkLayer{
+		{Name: "stage2_down", Shape: c(64, 56, 128, 3, 2, 1), Repeat: 1},
+		{Name: "stage2_a", Shape: c(128, 28, 128, 3, 1, 1), Repeat: 1},
+		{Name: "stage2_b", Shape: c(128, 28, 128, 3, 1, 1), Repeat: 1}, // same key as stage2_a
+		{Name: "stage2_proj", Shape: c(64, 56, 128, 1, 2, 0), Repeat: 1},
+		{Name: "stage2_c", Shape: c(128, 28, 128, 3, 1, 1), Repeat: 1}, // same key again
+	}
+}
+
+// TestTuneNetworkDedupAndDeterminism: identical shape keys share one
+// search, and the verdict list is identical at any layer-worker count.
+func TestTuneNetworkDedupAndDeterminism(t *testing.T) {
+	layers := resnetBlockLayers()
+	opts := NetworkOptions{Tune: smallOpts(24, 3)}
+	run := func(workers int) []LayerVerdict {
+		o := opts
+		o.Workers = workers
+		v, err := TuneNetwork(arch, layers, NewCache(), o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return v
+	}
+	v1, v8 := run(1), run(8)
+	for i := range layers {
+		if v1[i].Config != v8[i].Config || v1[i].M != v8[i].M || v1[i].Kind != v8[i].Kind {
+			t.Errorf("layer %s: verdict differs across worker counts: %+v vs %+v",
+				layers[i].Name, v1[i], v8[i])
+		}
+	}
+	// The three stage2 body layers have one shape key: identical verdicts,
+	// and exactly one of them ran its own search.
+	owned := 0
+	for _, i := range []int{1, 2, 4} {
+		if v8[i].Config != v8[1].Config || v8[i].M != v8[1].M {
+			t.Errorf("duplicate-shape layer %s got a different verdict", layers[i].Name)
+		}
+		if !v8[i].Shared {
+			owned++
+		}
+	}
+	if owned != 1 {
+		t.Errorf("want exactly 1 owned search among duplicate layers, got %d", owned)
+	}
+}
+
+// TestTuneNetworkSharedCache: a second run against the same cache is all
+// cache hits — no layer searches again.
+func TestTuneNetworkSharedCache(t *testing.T) {
+	layers := resnetBlockLayers()
+	cache := NewCache()
+	opts := NetworkOptions{Tune: smallOpts(24, 3), Workers: 4}
+	first, err := TuneNetwork(arch, layers, cache, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := TuneNetwork(arch, layers, cache, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range layers {
+		if !second[i].Shared {
+			t.Errorf("layer %s searched again despite warm cache", layers[i].Name)
+		}
+		if second[i].Config != first[i].Config {
+			t.Errorf("layer %s: warm-cache verdict differs", layers[i].Name)
+		}
+	}
+}
+
+// TestTuneNetworkConcurrentCallers hammers one shared cache from several
+// concurrent TuneNetwork calls — the go test -race target for the
+// network-level engine.
+func TestTuneNetworkConcurrentCallers(t *testing.T) {
+	layers := resnetBlockLayers()
+	cache := NewCache()
+	opts := NetworkOptions{Tune: smallOpts(16, 9), Workers: 3}
+	const callers = 4
+	verdicts := make([][]LayerVerdict, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for g := 0; g < callers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			verdicts[g], errs[g] = TuneNetwork(arch, layers, cache, opts)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < callers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("caller %d: %v", g, errs[g])
+		}
+		for i := range layers {
+			if verdicts[g][i].Config != verdicts[0][i].Config {
+				t.Errorf("caller %d layer %s: divergent verdict", g, layers[i].Name)
+			}
+		}
+	}
+	if cache.Len() == 0 {
+		t.Error("cache empty after concurrent tuning")
+	}
+}
+
+// TestMeasureAllOrdering: the executor slots results by submission index
+// regardless of completion order.
+func TestMeasureAllOrdering(t *testing.T) {
+	sp := mustSpace(t, true)
+	var cfgs []conv.Config
+	sp.enumerate(func(c conv.Config) bool {
+		cfgs = append(cfgs, c)
+		return len(cfgs) < 50
+	})
+	measure := DirectMeasurer(arch, layer())
+	serial := measureAll(measure, cfgs, 1, 0)
+	fanned := measureAll(measure, cfgs, 8, 0)
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Error("executor results differ between 1 and 8 workers")
+	}
+}

@@ -5,6 +5,14 @@
 // parallel model-guided random walks. Simulated annealing, genetic and
 // random searchers over the unpruned space stand in for TVM's tuners, as in
 // Figure 11 and Table 2.
+//
+// Beyond the paper's single-layer loop, the package scales the engine the
+// way production auto-tuners do: a worker-pool measurement executor fans
+// each candidate batch across goroutines while keeping runs bit-identical
+// for any worker count (executor.go), TuneNetwork tunes every layer of a
+// CNN concurrently (network.go), and a sharded Cache persists verdicts per
+// (arch, algorithm, shape) key and deduplicates concurrent searches of
+// identical keys (cache.go).
 package autotune
 
 import (

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/conv"
 	"repro/internal/memsim"
@@ -68,11 +69,22 @@ type Options struct {
 	// configurations. The TVM-proxy runs use this: an external tuner has no
 	// knowledge of the paper's optimality condition.
 	NoSeeds bool
+	// Workers is how many goroutines the measurement executor fans each
+	// batch of candidates across (default 1). The best configuration, the
+	// convergence curve and every other engine output are bit-identical for
+	// any worker count given a fixed Seed: candidates are chosen before the
+	// batch is dispatched and outcomes are recorded in submission order.
+	Workers int
+	// MeasureLatency emulates the per-measurement hardware round-trip
+	// (compile + launch + read-back) that the dry simulator elides. Real
+	// auto-tuners parallelize measurement precisely to overlap this wait;
+	// with Workers > 1 the executor does the same.
+	MeasureLatency time.Duration
 }
 
 // DefaultOptions are sensible mid-size tuning settings.
 func DefaultOptions() Options {
-	return Options{Budget: 400, BatchSize: 8, Walkers: 8, WalkSteps: 24, Patience: 120, Seed: 1}
+	return Options{Budget: 400, BatchSize: 8, Walkers: 8, WalkSteps: 24, Patience: 120, Seed: 1, Workers: 1}
 }
 
 func (o Options) normalized() Options {
@@ -87,6 +99,9 @@ func (o Options) normalized() Options {
 	}
 	if o.WalkSteps < 1 {
 		o.WalkSteps = 1
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -129,7 +144,9 @@ func (r *record) stale(patience int) bool {
 // {train cost model on all measurements so far; explore with n_s parallel
 // model-guided random walks from the current best configurations; measure
 // the proposals; update the dataset} until the budget or patience is
-// exhausted.
+// exhausted. Each batch of proposals is measured by the worker-pool
+// executor (opts.Workers goroutines); outcomes are recorded in submission
+// order, so the run is deterministic for a fixed seed at any worker count.
 func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -147,43 +164,54 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	}
 	var topK []scored
 
-	measureOne := func(c conv.Config) {
-		if seen[c] {
-			return
-		}
-		seen[c] = true
-		m, ok := measure(c)
-		rec.add(c, m, ok)
-		cost := 20.0 // a large log-cost for failed configs
-		if ok {
-			cost = math.Log(m.Seconds)
-			topK = append(topK, scored{c, m.Seconds})
-			sort.Slice(topK, func(i, j int) bool { return topK[i].cost < topK[j].cost })
-			if len(topK) > opts.Walkers {
-				topK = topK[:opts.Walkers]
+	// measureBatch dedups the candidates against everything measured so
+	// far, truncates to the remaining budget, fans the survivors across the
+	// executor's workers, and books the outcomes in submission order.
+	measureBatch := func(cands []conv.Config) {
+		batch := make([]conv.Config, 0, len(cands))
+		for _, c := range cands {
+			if rec.trace.Measurements+len(batch) >= opts.Budget {
+				break
 			}
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			batch = append(batch, c)
 		}
-		feats = append(feats, sp.Features(c))
-		costs = append(costs, cost)
+		results := measureAll(measure, batch, opts.Workers, opts.MeasureLatency)
+		for i, c := range batch {
+			m, ok := results[i].m, results[i].ok
+			rec.add(c, m, ok)
+			cost := 20.0 // a large log-cost for failed configs
+			if ok {
+				cost = math.Log(m.Seconds)
+				topK = append(topK, scored{c, m.Seconds})
+				sort.Slice(topK, func(i, j int) bool { return topK[i].cost < topK[j].cost })
+				if len(topK) > opts.Walkers {
+					topK = topK[:opts.Walkers]
+				}
+			}
+			feats = append(feats, sp.Features(c))
+			costs = append(costs, cost)
+		}
 	}
 
 	// The coarse-grained Section 5 dataflow designs are the first
 	// measurements — the engine refines them, as in the paper — followed by
 	// random guesses that seed the walkers and the model.
 	if !opts.NoSeeds {
-		for _, c := range sp.SeedConfigs() {
-			if rec.trace.Measurements < opts.Budget {
-				measureOne(c)
-			}
-		}
+		measureBatch(sp.SeedConfigs())
 	}
 	initRandom := 3 * opts.Walkers
 	if b := opts.Budget / 4; b < initRandom {
 		initRandom = b
 	}
-	for i := 0; i < initRandom && rec.trace.Measurements < opts.Budget; i++ {
-		measureOne(sp.Sample(rng))
+	initial := make([]conv.Config, 0, initRandom)
+	for i := 0; i < initRandom; i++ {
+		initial = append(initial, sp.Sample(rng))
 	}
+	measureBatch(initial)
 
 	for rec.trace.Measurements < opts.Budget && !rec.stale(opts.Patience) {
 		model := TrainGBT(DefaultGBTConfig(), feats, costs)
@@ -228,9 +256,11 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 			}
 			return ranked[i].cfg.String() < ranked[j].cfg.String() // determinism
 		})
-		for i := 0; i < len(ranked) && i < opts.BatchSize && rec.trace.Measurements < opts.Budget; i++ {
-			measureOne(ranked[i].cfg)
+		batch := make([]conv.Config, 0, opts.BatchSize)
+		for i := 0; i < len(ranked) && i < opts.BatchSize; i++ {
+			batch = append(batch, ranked[i].cfg)
 		}
+		measureBatch(batch)
 	}
 	if !rec.found {
 		return nil, fmt.Errorf("autotune: no valid configuration found in %d measurements", rec.trace.Measurements)

@@ -1,5 +1,10 @@
 // Package report renders experiment results as aligned text tables and CSV,
-// the output format of cmd/repro and the benchmark harness.
+// the output format of cmd/repro and the benchmark harness. A Table
+// accumulates typed rows under a header and writes itself as
+// terminal-aligned text (WriteText) or machine-readable CSV (WriteCSV);
+// the statistics helpers (GeoMean and friends) implement the aggregations
+// the paper's evaluation reports, so every consumer summarizes results the
+// same way.
 package report
 
 import (

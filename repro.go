@@ -15,6 +15,7 @@ package repro
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/autotune"
 	"repro/internal/bounds"
@@ -179,6 +180,13 @@ type TuneOptions struct {
 	Budget int
 	// Seed makes the run deterministic (default 1).
 	Seed int64
+	// Workers is how many goroutines measure each candidate batch
+	// concurrently (default 1). The tuning outcome is identical for any
+	// worker count at a fixed seed.
+	Workers int
+	// MeasureLatency emulates the per-measurement hardware round-trip that
+	// real auto-tuners overlap with a parallel measurement executor.
+	MeasureLatency time.Duration
 }
 
 func (o TuneOptions) lower() autotune.Options {
@@ -189,6 +197,10 @@ func (o TuneOptions) lower() autotune.Options {
 	if o.Seed != 0 {
 		opts.Seed = o.Seed
 	}
+	if o.Workers > 0 {
+		opts.Workers = o.Workers
+	}
+	opts.MeasureLatency = o.MeasureLatency
 	return opts
 }
 
@@ -210,6 +222,56 @@ func TuneWinograd(arch Arch, s Shape, o TuneOptions) (*TuneTrace, error) {
 		return nil, err
 	}
 	return autotune.Tune(sp, autotune.WinogradMeasurer(arch, s), o.lower())
+}
+
+// NetworkLayer is one layer of a network-level tuning request.
+type NetworkLayer = autotune.NetworkLayer
+
+// LayerVerdict is the tuning outcome of one network layer.
+type LayerVerdict = autotune.LayerVerdict
+
+// TuningCache persists tuning verdicts per (arch, algorithm, shape); it is
+// safe for concurrent use and deduplicates concurrent searches of the same
+// key.
+type TuningCache = autotune.Cache
+
+// NewTuningCache returns an empty tuning cache. Use LoadFile/SaveFile to
+// persist it across runs.
+func NewTuningCache() *TuningCache { return autotune.NewCache() }
+
+// NetworkTuneOptions controls a network-level tuning run.
+type NetworkTuneOptions struct {
+	// Budget, Seed, Workers and MeasureLatency are the per-layer engine
+	// options (see TuneOptions).
+	Budget         int
+	Seed           int64
+	Workers        int
+	MeasureLatency time.Duration
+	// LayerWorkers is how many layers tune concurrently (default
+	// GOMAXPROCS); verdicts do not depend on it.
+	LayerWorkers int
+	// Winograd also tunes the fused Winograd dataflow where it applies and
+	// keeps the better verdict, as the paper's end-to-end evaluation does.
+	Winograd bool
+}
+
+// TuneNetwork tunes every layer of a network concurrently with a shared
+// cache: layers with identical shape keys are deduplicated and tune once.
+// cache may be nil for a throwaway run. Verdicts come back in layer order
+// and are deterministic for a fixed seed at any worker count.
+func TuneNetwork(arch Arch, layers []NetworkLayer, cache *TuningCache, o NetworkTuneOptions) ([]LayerVerdict, error) {
+	per := TuneOptions{Budget: o.Budget, Seed: o.Seed, Workers: o.Workers, MeasureLatency: o.MeasureLatency}
+	return autotune.TuneNetwork(arch, layers, cache, autotune.NetworkOptions{
+		Tune:     per.lower(),
+		Workers:  o.LayerWorkers,
+		Winograd: o.Winograd,
+	})
+}
+
+// NetworkSeconds sums repeat-weighted simulated layer times of a verdict
+// list — the tuned network's end-to-end convolution time.
+func NetworkSeconds(verdicts []LayerVerdict) float64 {
+	return autotune.NetworkSeconds(verdicts)
 }
 
 // Analysis is the complete bound→design→tune report of one layer.
