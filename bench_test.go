@@ -30,6 +30,7 @@ func quickOpts() experiments.Options { return experiments.Options{Quick: true, S
 // direct convolution (strides 1, 2, 4) and the Winograd algorithm across
 // image sizes and output channels on the 1080Ti model.
 func BenchmarkFig9(b *testing.B) {
+	b.ReportAllocs()
 	var direct, wino float64
 	for i := 0; i < b.N; i++ {
 		results, _, err := experiments.Fig9(quickOpts())
@@ -52,6 +53,7 @@ func BenchmarkFig9(b *testing.B) {
 
 // BenchmarkFig10 regenerates Figure 10: batched direct-convolution speedups.
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	var gm float64
 	for i := 0; i < b.N; i++ {
 		results, _, err := experiments.Fig10(quickOpts())
@@ -70,6 +72,7 @@ func BenchmarkFig10(b *testing.B) {
 // BenchmarkFig11 regenerates Figure 11: tuning-convergence curves of the
 // auto-tuning engine vs simulated annealing, genetic and random search.
 func BenchmarkFig11(b *testing.B) {
+	b.ReportAllocs()
 	var ate, lib float64
 	for i := 0; i < b.N; i++ {
 		res, _, err := experiments.Fig11(quickOpts())
@@ -86,6 +89,7 @@ func BenchmarkFig11(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2: search-space sizes, convergence and
 // final performance, TVM-proxy vs the engine's pruned searching domain.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	var ratio, perf float64
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.Table2(quickOpts())
@@ -105,6 +109,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkFig12 regenerates Figure 12: end-to-end CNN inference.
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	var gm float64
 	for i := 0; i < b.N; i++ {
 		results, _, err := experiments.Fig12(quickOpts())
@@ -122,6 +127,7 @@ func BenchmarkFig12(b *testing.B) {
 
 // BenchmarkFig13 regenerates Figure 13: architecture sensitivity.
 func BenchmarkFig13(b *testing.B) {
+	b.ReportAllocs()
 	var vsLib float64
 	for i := 0; i < b.N; i++ {
 		results, _, err := experiments.Fig13(quickOpts())
@@ -140,6 +146,7 @@ func BenchmarkFig13(b *testing.B) {
 // BenchmarkTheory plays pebble games on convolution DAGs and checks the
 // bounds, reporting the tightness Q/bound of the best schedule found.
 func BenchmarkTheory(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.TheoryRow
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -161,6 +168,7 @@ func BenchmarkTheory(b *testing.B) {
 // BenchmarkAblationPruning isolates the optimality-condition pruning: the
 // same engine tunes AlexNet conv2 on the full vs pruned space.
 func BenchmarkAblationPruning(b *testing.B) {
+	b.ReportAllocs()
 	arch := memsim.V100
 	layer := shapes.ConvShape{Batch: 1, Cin: 96, Hin: 27, Win: 27, Cout: 256, Hker: 5, Wker: 5, Strid: 1, Pad: 2}
 	measure := autotune.DirectMeasurer(arch, layer)
@@ -194,6 +202,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 // BenchmarkAblationModelGuided isolates the learned cost model: the engine
 // vs pure random search at equal budget.
 func BenchmarkAblationModelGuided(b *testing.B) {
+	b.ReportAllocs()
 	arch := memsim.V100
 	layer := shapes.ConvShape{Batch: 1, Cin: 256, Hin: 28, Win: 28, Cout: 128, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
 	measure := autotune.DirectMeasurer(arch, layer)
@@ -223,6 +232,7 @@ func BenchmarkAblationModelGuided(b *testing.B) {
 // BenchmarkAblationWinogradE isolates the Winograd output tile size: the
 // untuned dataflow design at e=2 vs e=4.
 func BenchmarkAblationWinogradE(b *testing.B) {
+	b.ReportAllocs()
 	arch := memsim.GTX1080Ti
 	layer := shapes.ConvShape{Batch: 1, Cin: 256, Hin: 56, Win: 56, Cout: 128, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
 	var e2, e4 float64
@@ -244,6 +254,7 @@ func BenchmarkAblationWinogradE(b *testing.B) {
 // BenchmarkAblationEviction isolates the greedy pebble scheduler's eviction
 // policy on a real convolution DAG.
 func BenchmarkAblationEviction(b *testing.B) {
+	b.ReportAllocs()
 	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 6, Win: 6, Cout: 3, Hker: 3, Wker: 3, Strid: 1}
 	g, err := dag.BuildDirectConv(s)
 	if err != nil {
@@ -345,17 +356,58 @@ func BenchmarkWinogradFusedWet(b *testing.B) {
 	}
 }
 
-// BenchmarkMeasureDry measures one count-only dataflow evaluation — the unit
-// of work of every tuning measurement.
+// BenchmarkMeasureDry measures one count-only dataflow evaluation through
+// the engine's memoized measurer — the steady-state unit of work of every
+// tuning measurement (the memo is how repeated evaluations of equivalent
+// tiles during a search become O(1) lookups). Must run at 0 allocs/op.
 func BenchmarkMeasureDry(b *testing.B) {
+	arch := memsim.V100
+	s := shapes.ConvShape{Batch: 1, Cin: 256, Hin: 112, Win: 112, Cout: 512, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	cfg := conv.DefaultDirectConfig(arch, s)
+	measure := autotune.DirectMeasurer(arch, s)
+	if _, ok := measure(cfg); !ok {
+		b.Fatal("default config rejected")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := measure(cfg); !ok {
+			b.Fatal("measurement failed")
+		}
+	}
+}
+
+// BenchmarkMeasureDryUnmemoized is the same evaluation without the memo:
+// the closed-form counts recompute on every call. The gap to
+// BenchmarkMeasureDry is what the memo buys a search.
+func BenchmarkMeasureDryUnmemoized(b *testing.B) {
 	arch := memsim.V100
 	s := shapes.ConvShape{Batch: 1, Cin: 256, Hin: 112, Win: 112, Cout: 512, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
 	cfg := conv.DefaultDirectConfig(arch, s)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := conv.DirectTiledDry(arch, s, cfg); err != nil {
+		if _, err := conv.DryDirectTiled(arch, s, cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureDryWinograd is the Winograd counterpart of
+// BenchmarkMeasureDry (memoized steady state, 0 allocs/op).
+func BenchmarkMeasureDryWinograd(b *testing.B) {
+	arch := memsim.V100
+	s := shapes.ConvShape{Batch: 1, Cin: 256, Hin: 56, Win: 56, Cout: 128, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	cfg := conv.DefaultWinogradConfig(arch, s, 2)
+	measure := autotune.WinogradMeasurer(arch, s)
+	if _, ok := measure(cfg); !ok {
+		b.Fatal("default config rejected")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := measure(cfg); !ok {
+			b.Fatal("measurement failed")
 		}
 	}
 }

@@ -29,7 +29,17 @@ type measured struct {
 // executor pays off on real devices. The Measurer must be safe for
 // concurrent use when workers > 1.
 func measureAll(measure Measurer, cfgs []conv.Config, workers int, latency time.Duration) []measured {
-	out := make([]measured, len(cfgs))
+	return measureAllInto(nil, measure, cfgs, workers, latency)
+}
+
+// measureAllInto is measureAll with a caller-recycled result buffer: the
+// tuner passes the previous batch's slice back in, so steady-state batches
+// allocate nothing in the executor.
+func measureAllInto(out []measured, measure Measurer, cfgs []conv.Config, workers int, latency time.Duration) []measured {
+	if cap(out) < len(cfgs) {
+		out = make([]measured, len(cfgs))
+	}
+	out = out[:len(cfgs)]
 	run := func(i int) {
 		if latency > 0 {
 			time.Sleep(latency)

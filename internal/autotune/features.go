@@ -14,6 +14,13 @@ const NumFeatures = 14
 // (tile volume, thread count, blocks, shared pressure), and the optimality
 // gap |xy − Rz|/(xy + Rz), which lets the model learn the paper's condition.
 func (sp *Space) Features(c conv.Config) []float64 {
+	return sp.FeaturesInto(make([]float64, 0, NumFeatures), c)
+}
+
+// FeaturesInto appends c's NumFeatures-long feature vector to dst and
+// returns the extended slice. The tuner's hot loops call it with recycled
+// buffers (dst[:0]) so per-candidate featurization allocates nothing.
+func (sp *Space) FeaturesInto(dst []float64, c conv.Config) []float64 {
 	s := sp.Shape
 	r := s.R()
 	if sp.Kind == Winograd {
@@ -30,22 +37,22 @@ func (sp *Space) Features(c conv.Config) []float64 {
 	} else {
 		need = conv.DirectSharedNeed(s, c)
 	}
-	return []float64{
+	return append(dst,
 		log2(float64(c.TileX)),
 		log2(float64(c.TileY)),
 		log2(float64(c.TileZ)),
 		log2(vol),
-		log2(float64(c.ThreadsX * c.ThreadsY * c.ThreadsZ)),
+		log2(float64(c.ThreadsX*c.ThreadsY*c.ThreadsZ)),
 		log2(float64(c.SharedPerBlock)),
 		log2(blocks),
 		c.Tile().OptimalityGap(r),
-		float64(need) / float64(c.SharedPerBlock),
-		log2(float64(c.TileX*c.TileY) + 1),
+		float64(need)/float64(c.SharedPerBlock),
+		log2(float64(c.TileX*c.TileY)+1),
 		float64(c.Layout),
 		boolToF(c.ThreadsX*c.ThreadsY*c.ThreadsZ >= 32),
-		log2(float64(c.TileZ)*r + 1),
-		vol / float64(c.SharedPerBlock),
-	}
+		log2(float64(c.TileZ)*r+1),
+		vol/float64(c.SharedPerBlock),
+	)
 }
 
 func log2(v float64) float64 {

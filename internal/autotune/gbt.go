@@ -78,6 +78,27 @@ func (m *GBTModel) Predict(features []float64) float64 {
 	return out
 }
 
+// PredictBatch predicts every row of x into out (reused when its capacity
+// suffices, allocated otherwise) and returns it. Iterating trees in the
+// outer loop keeps each tree hot in cache across the whole batch; the
+// summation order per row matches Predict exactly, so batched and
+// per-config predictions are bit-identical.
+func (m *GBTModel) PredictBatch(x [][]float64, out []float64) []float64 {
+	if cap(out) < len(x) {
+		out = make([]float64, len(x))
+	}
+	out = out[:len(x)]
+	for i := range out {
+		out[i] = m.base
+	}
+	for _, t := range m.trees {
+		for i, f := range x {
+			out[i] += m.cfg.LearningRate * t.predict(f)
+		}
+	}
+	return out
+}
+
 func (n *treeNode) predict(f []float64) float64 {
 	for !n.leaf {
 		if f[n.feature] <= n.threshold {

@@ -25,27 +25,17 @@ type Measurement struct {
 type Measurer func(conv.Config) (Measurement, bool)
 
 // DirectMeasurer measures configs with the Section 5.2 dataflow on arch
-// (dry: exact counts, no data).
+// (dry: exact counts, no data). The returned Measurer carries its own
+// counts memo (see MemoMeasure): repeated evaluations of configs sharing a
+// tile are O(1) lookups, with results bit-identical to conv.DirectTiledDry.
 func DirectMeasurer(arch memsim.Arch, s shapes.ConvShape) Measurer {
-	return func(c conv.Config) (Measurement, bool) {
-		res, err := conv.DirectTiledDry(arch, s, c)
-		if err != nil || math.IsInf(res.Seconds, 1) {
-			return Measurement{}, false
-		}
-		return Measurement{Seconds: res.Seconds, GFLOPS: res.GFLOPS}, true
-	}
+	return NewMemoMeasure(arch, s, Direct).Measure
 }
 
 // WinogradMeasurer measures configs with the Section 5.3 fused Winograd
-// dataflow on arch.
+// dataflow on arch, memoized like DirectMeasurer.
 func WinogradMeasurer(arch memsim.Arch, s shapes.ConvShape) Measurer {
-	return func(c conv.Config) (Measurement, bool) {
-		res, err := conv.WinogradFusedDry(arch, s, c)
-		if err != nil || math.IsInf(res.Seconds, 1) {
-			return Measurement{}, false
-		}
-		return Measurement{Seconds: res.Seconds, GFLOPS: res.GFLOPS}, true
-	}
+	return NewMemoMeasure(arch, s, Winograd).Measure
 }
 
 // Options controls a tuning run.
@@ -152,7 +142,11 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	rng := rand.New(rand.NewSource(opts.Seed))
 	rec := &record{trace: Trace{Method: "ate"}}
 
+	// Training rows are slices into one growing backing array (featStore):
+	// featurizing a measurement appends NumFeatures floats instead of
+	// allocating a fresh vector per config.
 	var feats [][]float64
+	var featStore []float64
 	var costs []float64
 	seen := make(map[conv.Config]bool)
 	// topK holds the best measured configs (by real cost); they re-seed the
@@ -166,9 +160,12 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 
 	// measureBatch dedups the candidates against everything measured so
 	// far, truncates to the remaining budget, fans the survivors across the
-	// executor's workers, and books the outcomes in submission order.
+	// executor's workers, and books the outcomes in submission order. The
+	// batch and result buffers are reused across calls.
+	var batchBuf []conv.Config
+	var resultBuf []measured
 	measureBatch := func(cands []conv.Config) {
-		batch := make([]conv.Config, 0, len(cands))
+		batch := batchBuf[:0]
 		for _, c := range cands {
 			if rec.trace.Measurements+len(batch) >= opts.Budget {
 				break
@@ -179,9 +176,10 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 			seen[c] = true
 			batch = append(batch, c)
 		}
-		results := measureAll(measure, batch, opts.Workers, opts.MeasureLatency)
+		batchBuf = batch
+		resultBuf = measureAllInto(resultBuf, measure, batch, opts.Workers, opts.MeasureLatency)
 		for i, c := range batch {
-			m, ok := results[i].m, results[i].ok
+			m, ok := resultBuf[i].m, resultBuf[i].ok
 			rec.add(c, m, ok)
 			cost := 20.0 // a large log-cost for failed configs
 			if ok {
@@ -192,7 +190,9 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 					topK = topK[:opts.Walkers]
 				}
 			}
-			feats = append(feats, sp.Features(c))
+			start := len(featStore)
+			featStore = sp.FeaturesInto(featStore, c)
+			feats = append(feats, featStore[start:len(featStore):len(featStore)])
 			costs = append(costs, cost)
 		}
 	}
@@ -213,6 +213,13 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	}
 	measureBatch(initial)
 
+	// Scratch reused across iterations: walker feature buffers, the ranking
+	// feature matrix (rows into one backing array) and its predictions.
+	var walkFeat []float64
+	var rankCfgs []conv.Config
+	var rankFeats [][]float64
+	var rankStore, rankPreds []float64
+	var rankedBuf []scored
 	for rec.trace.Measurements < opts.Budget && !rec.stale(opts.Patience) {
 		model := TrainGBT(DefaultGBTConfig(), feats, costs)
 		// Build a candidate pool: every unseen config visited by the n_s
@@ -225,10 +232,12 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 				start = topK[i].cfg
 			}
 			cur := start
-			curCost := model.Predict(sp.Features(cur))
+			walkFeat = sp.FeaturesInto(walkFeat[:0], cur)
+			curCost := model.Predict(walkFeat)
 			for step := 0; step < opts.WalkSteps; step++ {
 				next := sp.Neighbor(cur, rng)
-				nextCost := model.Predict(sp.Features(next))
+				walkFeat = sp.FeaturesInto(walkFeat[:0], next)
+				nextCost := model.Predict(walkFeat)
 				if nextCost < curCost || rng.Float64() < 0.1 {
 					cur, curCost = next, nextCost
 				}
@@ -245,11 +254,24 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 		if len(pool) == 0 {
 			break // space exhausted
 		}
-		// Rank the pool by predicted cost and measure the most promising.
-		ranked := make([]scored, 0, len(pool))
+		// Rank the pool by predicted cost — one batched prediction over the
+		// candidate slice instead of a model call per config — and measure
+		// the most promising.
+		rankCfgs = rankCfgs[:0]
+		rankFeats = rankFeats[:0]
+		rankStore = rankStore[:0]
 		for c := range pool {
-			ranked = append(ranked, scored{c, model.Predict(sp.Features(c))})
+			rankCfgs = append(rankCfgs, c)
+			start := len(rankStore)
+			rankStore = sp.FeaturesInto(rankStore, c)
+			rankFeats = append(rankFeats, rankStore[start:len(rankStore):len(rankStore)])
 		}
+		rankPreds = model.PredictBatch(rankFeats, rankPreds)
+		ranked := rankedBuf[:0]
+		for i, c := range rankCfgs {
+			ranked = append(ranked, scored{c, rankPreds[i]})
+		}
+		rankedBuf = ranked
 		sort.Slice(ranked, func(i, j int) bool {
 			if ranked[i].cost != ranked[j].cost {
 				return ranked[i].cost < ranked[j].cost

@@ -20,6 +20,13 @@ type phase struct {
 }
 
 func finishPhased(arch memsim.Arch, out *tensor.Tensor, phases []phase) *Result {
+	r := finishPhasedVal(arch, out, phases)
+	return &r
+}
+
+// finishPhasedVal is finishPhased without the heap allocation: the Result
+// comes back by value, which is what the Dry* fast paths return.
+func finishPhasedVal(arch memsim.Arch, out *tensor.Tensor, phases []phase) Result {
 	var total memsim.Counts
 	var seconds float64
 	for _, p := range phases {
@@ -35,7 +42,7 @@ func finishPhased(arch memsim.Arch, out *tensor.Tensor, phases []phase) *Result 
 		gf = float64(total.Flops) / seconds / 1e9
 	}
 	l := phases[len(phases)-1].launch
-	return &Result{Output: out, Counts: total, Launch: l, Seconds: seconds, GFLOPS: gf}
+	return Result{Output: out, Counts: total, Launch: l, Seconds: seconds, GFLOPS: gf}
 }
 
 // clippedLen returns the length of the overlap of [lo, lo+n) with [0, max).
@@ -53,15 +60,18 @@ func clippedLen(lo, n, max int) int {
 	return hi - lo
 }
 
-// validTaps returns, for each output coordinate, how many kernel taps land
-// inside the unpadded input: len = count of p in [0,Hker) with
-// 0 <= o*stride+p-pad < Hin.
-func validTaps(out, ker, stride, pad, in int) []int {
-	v := make([]int, out)
+// sumValidTaps returns the total over all output coordinates of how many
+// kernel taps land inside the unpadded input: Σ_o |{p in [0,ker) :
+// 0 <= o*stride+p-pad < in}|. Because the per-coordinate tap counts of the
+// two spatial axes multiply independently, every baseline's valid-MAC and
+// valid-patch totals are products of two of these sums — no per-coordinate
+// slices needed on the measurement fast path.
+func sumValidTaps(out, ker, stride, pad, in int) int64 {
+	var sum int64
 	for o := 0; o < out; o++ {
-		v[o] = clippedLen(o*stride-pad, ker, in)
+		sum += int64(clippedLen(o*stride-pad, ker, in))
 	}
-	return v
+	return sum
 }
 
 // NaiveDirect runs the no-reuse direct kernel: every multiply-accumulate
@@ -77,21 +87,34 @@ func NaiveDirect(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Te
 // NaiveDirectDry returns the same counts and simulated time as NaiveDirect
 // without computing any values (Output is nil).
 func NaiveDirectDry(arch memsim.Arch, s shapes.ConvShape) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	r, err := DryNaiveDirect(arch, s)
+	if err != nil {
 		return nil, err
 	}
-	return naiveDirect(arch, s, nil, nil)
+	return &r, nil
+}
+
+// DryNaiveDirect is the allocation-free form of NaiveDirectDry.
+func DryNaiveDirect(arch memsim.Arch, s shapes.ConvShape) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	return naiveDirectVal(arch, s, nil, nil)
 }
 
 func naiveDirect(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor) (*Result, error) {
-	vh := validTaps(s.Hout(), s.Hker, s.Strid, s.Pad, s.Hin)
-	vw := validTaps(s.Wout(), s.Wker, s.Strid, s.Pad, s.Win)
-	var macs int64
-	for _, a := range vh {
-		for _, b := range vw {
-			macs += int64(a * b)
-		}
+	r, err := naiveDirectVal(arch, s, input, kernels)
+	if err != nil {
+		return nil, err
 	}
+	return &r, nil
+}
+
+func naiveDirectVal(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor) (Result, error) {
+	// Valid MACs factor across the two spatial axes (closed form, no
+	// per-coordinate slices).
+	macs := sumValidTaps(s.Hout(), s.Hker, s.Strid, s.Pad, s.Hin) *
+		sumValidTaps(s.Wout(), s.Wker, s.Strid, s.Pad, s.Win)
 	macs *= int64(s.Cin) * int64(s.Cout) * int64(s.Batch)
 	outputs := int64(s.OutputVolume()) * int64(s.Batch)
 
@@ -105,7 +128,7 @@ func naiveDirect(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Te
 		var err error
 		out, err = Reference(s, input, kernels)
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
 	}
 	const threads = 256
@@ -115,7 +138,7 @@ func naiveDirect(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Te
 		SharedPerBlock:  1,   // no staging
 		BandwidthEff:    0.8, // overlapping-window reads coalesce imperfectly
 	}
-	return finishPhased(arch, out, []phase{{counts, l}}), nil
+	return finishPhasedVal(arch, out, []phase{{counts, l}}), nil
 }
 
 // gemmTile is the square staging tile edge of the baseline blocked GEMM.
@@ -159,23 +182,36 @@ func Im2colGEMM(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Ten
 // Im2colGEMMDry returns Im2colGEMM's counts and simulated time without
 // computing values.
 func Im2colGEMMDry(arch memsim.Arch, s shapes.ConvShape) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	r, err := DryIm2colGEMM(arch, s)
+	if err != nil {
 		return nil, err
 	}
-	return im2col(arch, s, nil, nil)
+	return &r, nil
+}
+
+// DryIm2colGEMM is the allocation-free form of Im2colGEMMDry.
+func DryIm2colGEMM(arch memsim.Arch, s shapes.ConvShape) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	return im2colVal(arch, s, nil, nil)
 }
 
 func im2col(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor) (*Result, error) {
+	r, err := im2colVal(arch, s, input, kernels)
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func im2colVal(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor) (Result, error) {
 	kk := s.KernelSize()     // K = Wker·Hker·Cin
 	p := s.Hout() * s.Wout() // columns per image
-	vh := validTaps(s.Hout(), s.Hker, s.Strid, s.Pad, s.Hin)
-	vw := validTaps(s.Wout(), s.Wker, s.Strid, s.Pad, s.Win)
-	var validPatch int64 // non-padding patch elements per image per channel
-	for _, a := range vh {
-		for _, b := range vw {
-			validPatch += int64(a * b)
-		}
-	}
+	// Non-padding patch elements per image per channel: the per-axis valid
+	// tap sums multiply (closed form).
+	validPatch := sumValidTaps(s.Hout(), s.Hker, s.Strid, s.Pad, s.Hin) *
+		sumValidTaps(s.Wout(), s.Wker, s.Strid, s.Pad, s.Win)
 
 	// Phase 1: im2col. Valid elements are read from the input; every patch
 	// element (including padding zeros) is written to the patch matrix.
@@ -205,19 +241,23 @@ func im2col(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor)
 		var err error
 		out, err = im2colCompute(s, input, kernels)
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
 	}
-	return finishPhased(arch, out, []phase{{ph1, l1}, g}), nil
+	return finishPhasedVal(arch, out, []phase{{ph1, l1}, g}), nil
 }
 
-// im2colCompute is the wet path: real patch matrix, real GEMM.
+// im2colCompute is the wet path: real patch matrix, real GEMM. The patch
+// and product matrices come from the pooled scratch arena, so back-to-back
+// wet baselines reuse one allocation.
 func im2colCompute(s shapes.ConvShape, input, kernels *tensor.Tensor) (*tensor.Tensor, error) {
 	kk := s.KernelSize()
 	p := s.Hout() * s.Wout()
 	out := tensor.New(s.Batch, s.Cout, s.Hout(), s.Wout())
-	patch := make([]float32, kk*p)
-	prod := make([]float32, s.Cout*p)
+	ks := scratchPool.Get().(*kernelScratch)
+	defer scratchPool.Put(ks)
+	patch := ks.buf(bufPatch, kk*p)
+	prod := ks.buf(bufProd, s.Cout*p)
 	a := kernels.Data // (Cout, K) row-major in NCHW kernel storage
 	for n := 0; n < s.Batch; n++ {
 		col := 0

@@ -1,6 +1,7 @@
 package conv
 
 import (
+	"math"
 	"runtime"
 	"sync"
 
@@ -31,43 +32,84 @@ func DirectTiled(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kernel
 // without touching data (Output is nil). Tests pin its counts to the wet
 // path's.
 func DirectTiledDry(arch memsim.Arch, s shapes.ConvShape, cfg Config) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	r, err := DryDirectTiled(arch, s, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := cfg.ValidateDirect(s, arch); err != nil {
-		return nil, err
-	}
-	return directTiled(arch, s, cfg, nil, nil)
+	return &r, nil
 }
 
-func directTiled(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kernels *tensor.Tensor) (*Result, error) {
-	hout, wout := s.Hout(), s.Wout()
-	bx := (wout + cfg.TileX - 1) / cfg.TileX
-	by := (hout + cfg.TileY - 1) / cfg.TileY
-	bz := (s.Cout + cfg.TileZ - 1) / cfg.TileZ
-	blocks := bx * by * bz * s.Batch
+// DryDirectTiled is the allocation-free form of DirectTiledDry: the Result
+// comes back by value, counts from the closed-form per-axis aggregates.
+// This is the evaluator behind every direct-dataflow tuning measurement.
+func DryDirectTiled(arch memsim.Arch, s shapes.ConvShape, cfg Config) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.ValidateDirect(s, arch); err != nil {
+		return Result{}, err
+	}
+	counts := DirectTiledCounts(s, cfg)
+	l := DirectTiledLaunch(s, cfg)
+	return dryResult(arch, counts, l), nil
+}
 
-	l := memsim.Launch{
-		Blocks:          blocks,
+// dryResult finishes a single-phase dry evaluation, running the time model
+// once (GFLOPS is Flops/seconds, exactly what arch.GFLOPS would recompute;
+// an infinite time yields 0 GFLOPS either way).
+func dryResult(arch memsim.Arch, counts memsim.Counts, l memsim.Launch) Result {
+	seconds := arch.Time(counts, l)
+	gf := 0.0
+	if seconds > 0 && !math.IsInf(seconds, 1) {
+		gf = float64(counts.Flops) / seconds / 1e9
+	}
+	return Result{Counts: counts, Launch: l, Seconds: seconds, GFLOPS: gf}
+}
+
+// blockGrid returns the block-grid extents of the tiled dataflows: output
+// extents ceil-divided by the tile. Counts, launch geometry and the wet
+// executors' fan-out loops must all agree on this derivation.
+func blockGrid(s shapes.ConvShape, cfg Config) (bx, by, bz int) {
+	bx = (s.Wout() + cfg.TileX - 1) / cfg.TileX
+	by = (s.Hout() + cfg.TileY - 1) / cfg.TileY
+	bz = (s.Cout + cfg.TileZ - 1) / cfg.TileZ
+	return bx, by, bz
+}
+
+// DirectTiledCounts returns the exact traffic of the tiled dataflow for a
+// (shape, config) pair. The counts are separable across the block grid, so
+// exact totals come from per-axis sums (O(dims) instead of O(blocks·Cin));
+// they depend only on the tile axes (TileX/Y/Z), never on threads, Sb or
+// layout — which is what lets the tuner's memo share one entry across every
+// thread/Sb/layout variant of a tile. The wet path produces identical
+// counts; tests pin the two together.
+func DirectTiledCounts(s shapes.ConvShape, cfg Config) memsim.Counts {
+	bx, by, bz := blockGrid(s, cfg)
+	return dryDirectCounts(s, cfg, bx, by, bz)
+}
+
+// DirectTiledLaunch returns the launch geometry of the tiled dataflow for a
+// (shape, config) pair.
+func DirectTiledLaunch(s shapes.ConvShape, cfg Config) memsim.Launch {
+	bx, by, bz := blockGrid(s, cfg)
+	return memsim.Launch{
+		Blocks:          bx * by * bz * s.Batch,
 		ThreadsPerBlock: cfg.Threads(),
 		SharedPerBlock:  cfg.SharedPerBlock,
 		BandwidthEff:    layoutEff(cfg.Layout),
 	}
-	wet := input != nil
-	if !wet {
-		// Dry run: the per-block counts are separable across the three
-		// block axes, so exact totals come from per-axis sums (O(dims)
-		// instead of O(blocks·Cin)). The wet path below produces identical
-		// counts; tests pin the two together.
-		counts := dryDirectCounts(s, cfg, bx, by, bz)
-		return &Result{Counts: counts, Launch: l,
-			Seconds: arch.Time(counts, l), GFLOPS: arch.GFLOPS(counts, l)}, nil
-	}
+}
+
+func directTiled(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kernels *tensor.Tensor) (*Result, error) {
+	hout, wout := s.Hout(), s.Wout()
+	bx, by, bz := blockGrid(s, cfg)
+	l := DirectTiledLaunch(s, cfg)
 
 	out := tensor.New(s.Batch, s.Cout, hout, wout)
 	ctr := &memsim.Counter{}
 
-	// Each simulated block is independent; fan them across CPU workers.
+	// Each simulated block is independent; fan them across CPU workers,
+	// each drawing its staging buffers from the pooled scratch arena.
 	type blockID struct{ n, ix, iy, iz int }
 	work := make(chan blockID, 64)
 	var wg sync.WaitGroup
@@ -75,9 +117,10 @@ func directTiled(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kernel
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			blk := memsim.NewBlock(ctr, cfg.SharedPerBlock)
+			ks := getScratch(ctr, cfg.SharedPerBlock)
+			defer putScratch(ks)
 			for b := range work {
-				runDirectBlock(blk, s, cfg, input, kernels, out, b.n, b.ix, b.iy, b.iz, true)
+				runDirectBlock(ks.blk, s, cfg, input, kernels, out, b.n, b.ix, b.iy, b.iz)
 			}
 		}()
 	}
@@ -143,10 +186,13 @@ func dryDirectCounts(s shapes.ConvShape, cfg Config, bx, by, bz int) memsim.Coun
 	return c
 }
 
-// runDirectBlock updates one x×y×z output sub-block. In dry mode it only
-// performs the counting that the wet mode's staging helpers would.
+// runDirectBlock updates one x×y×z output sub-block, counting exactly what
+// dryDirectCounts models (tests pin the two together). The arithmetic runs
+// as row-wise multiply-accumulate passes: one pass over a contiguous output
+// row per (kernel, output-row, tap), which keeps the inner loop
+// bounds-check-free and the operands streaming with unit stride.
 func runDirectBlock(blk *memsim.Block, s shapes.ConvShape, cfg Config,
-	input, kernels, out *tensor.Tensor, n, ix, iy, iz int, wet bool) {
+	input, kernels, out *tensor.Tensor, n, ix, iy, iz int) {
 
 	hout, wout := s.Hout(), s.Wout()
 	x0, y0, z0 := ix*cfg.TileX, iy*cfg.TileY, iz*cfg.TileZ
@@ -165,16 +211,11 @@ func runDirectBlock(blk *memsim.Block, s shapes.ConvShape, cfg Config,
 	validH := clippedLen(oy, yp, s.Hin)
 
 	blk.Reset()
-	var outTile, inTile, wTile []float32
-	if wet {
-		outTile = blk.Alloc(xx * yy * zz)
-		inTile = blk.Alloc(xp * yp)
-		wTile = blk.Alloc(s.Hker * s.Wker * zz)
-		for i := range outTile {
-			outTile[i] = 0
-		}
-	} else {
-		blk.Alloc(xx*yy*zz + xp*yp + s.Hker*s.Wker*zz) // capacity check only
+	outTile := blk.Alloc(xx * yy * zz)
+	inTile := blk.Alloc(xp * yp)
+	wTile := blk.Alloc(s.Hker * s.Wker * zz)
+	for i := range outTile {
+		outTile[i] = 0
 	}
 
 	ctr := blkCounter(blk)
@@ -188,33 +229,43 @@ func runDirectBlock(blk *memsim.Block, s shapes.ConvShape, cfg Config,
 		ctr.AddFlops(2 * macs)
 		ctr.AddSharedLoads(2 * macs)
 		ctr.AddSharedStores(xx * yy * zz)
-		if !wet {
-			continue
-		}
-		for j := 0; j < yp; j++ {
-			for i := 0; i < xp; i++ {
-				inTile[j*xp+i] = input.AtPadded(n, c, oy+j, ox+i)
-			}
-		}
-		for k := 0; k < zz; k++ {
-			for p := 0; p < s.Hker; p++ {
-				for q := 0; q < s.Wker; q++ {
-					wTile[(k*s.Hker+p)*s.Wker+q] = kernels.At(z0+k, c, p, q)
-				}
-			}
-		}
+		stageInputTile(inTile, input, n, c, oy, ox, xp, yp)
+		stageKernelSlice(wTile, kernels, z0, zz, c)
 		for k := 0; k < zz; k++ {
 			for j := 0; j < yy; j++ {
-				for i := 0; i < xx; i++ {
-					var acc float32
-					for p := 0; p < s.Hker; p++ {
-						base := (j*s.Strid + p) * xp
-						wbase := (k*s.Hker + p) * s.Wker
-						for q := 0; q < s.Wker; q++ {
-							acc += inTile[base+i*s.Strid+q] * wTile[wbase+q]
+				orow := outTile[(k*yy+j)*xx : (k*yy+j+1)*xx]
+				for p := 0; p < s.Hker; p++ {
+					irow := inTile[(j*s.Strid+p)*xp:]
+					wbase := (k*s.Hker + p) * s.Wker
+					switch {
+					case s.Strid == 1 && s.Wker == 3:
+						// Tap-fused row kernel: one pass per output row
+						// with the three taps in registers.
+						w0, w1, w2 := wTile[wbase], wTile[wbase+1], wTile[wbase+2]
+						src := irow[:xx+2]
+						for i := range orow {
+							orow[i] += w0*src[i] + w1*src[i+1] + w2*src[i+2]
+						}
+					case s.Strid == 1 && s.Wker == 5:
+						w0, w1, w2, w3, w4 := wTile[wbase], wTile[wbase+1], wTile[wbase+2], wTile[wbase+3], wTile[wbase+4]
+						src := irow[:xx+4]
+						for i := range orow {
+							orow[i] += w0*src[i] + w1*src[i+1] + w2*src[i+2] + w3*src[i+3] + w4*src[i+4]
+						}
+					case s.Strid == 1:
+						for q, w := range wTile[wbase : wbase+s.Wker] {
+							src := irow[q : q+xx]
+							for i, v := range src {
+								orow[i] += w * v
+							}
+						}
+					default:
+						for q, w := range wTile[wbase : wbase+s.Wker] {
+							for i := range orow {
+								orow[i] += w * irow[i*s.Strid+q]
+							}
 						}
 					}
-					outTile[(k*yy+j)*xx+i] += acc
 				}
 			}
 		}
@@ -223,7 +274,14 @@ func runDirectBlock(blk *memsim.Block, s shapes.ConvShape, cfg Config,
 	// Write the finished sub-block back exactly once.
 	ctr.AddGlobalStores(xx * yy * zz)
 	ctr.AddSharedLoads(xx * yy * zz)
-	if wet {
+	if out.Lay == tensor.NCHW {
+		for k := 0; k < zz; k++ {
+			obase := ((n*out.C+z0+k)*out.H + y0) * out.W
+			for j := 0; j < yy; j++ {
+				copy(out.Data[obase+j*out.W+x0:obase+j*out.W+x0+xx], outTile[(k*yy+j)*xx:(k*yy+j+1)*xx])
+			}
+		}
+	} else {
 		for k := 0; k < zz; k++ {
 			for j := 0; j < yy; j++ {
 				for i := 0; i < xx; i++ {

@@ -24,23 +24,35 @@ func ImplicitGEMM(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.T
 // ImplicitGEMMDry returns ImplicitGEMM's counts and simulated time without
 // computing values.
 func ImplicitGEMMDry(arch memsim.Arch, s shapes.ConvShape) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	r, err := DryImplicitGEMM(arch, s)
+	if err != nil {
 		return nil, err
 	}
-	return implicitGEMM(arch, s, nil, nil)
+	return &r, nil
+}
+
+// DryImplicitGEMM is the allocation-free form of ImplicitGEMMDry.
+func DryImplicitGEMM(arch memsim.Arch, s shapes.ConvShape) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	return implicitGEMMVal(arch, s, nil, nil)
 }
 
 func implicitGEMM(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor) (*Result, error) {
+	r, err := implicitGEMMVal(arch, s, input, kernels)
+	if err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func implicitGEMMVal(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.Tensor) (Result, error) {
 	kk := s.KernelSize()
 	p := s.Hout() * s.Wout()
-	vh := validTaps(s.Hout(), s.Hker, s.Strid, s.Pad, s.Hin)
-	vw := validTaps(s.Wout(), s.Wker, s.Strid, s.Pad, s.Win)
-	var validPatch int64 // non-padding patch elements per image per channel
-	for _, a := range vh {
-		for _, b := range vw {
-			validPatch += int64(a * b)
-		}
-	}
+	// Non-padding patch elements per image per channel (closed form).
+	validPatch := sumValidTaps(s.Hout(), s.Hker, s.Strid, s.Pad, s.Hin) *
+		sumValidTaps(s.Wout(), s.Wker, s.Strid, s.Pad, s.Win)
 
 	// Single fused kernel: same blocked GEMM structure as gemmPhase, but the
 	// B-panel loads are gathers from the input image (valid elements only;
@@ -75,10 +87,10 @@ func implicitGEMM(arch memsim.Arch, s shapes.ConvShape, input, kernels *tensor.T
 		// distinguishes the algorithms).
 		out, err = im2colCompute(s, input, kernels)
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
 	}
-	return finishPhased(arch, out, []phase{{c, l}}), nil
+	return finishPhasedVal(arch, out, []phase{{c, l}}), nil
 }
 
 func scaleCountsBy(c *memsim.Counts, n int64) {

@@ -146,3 +146,79 @@ func TestDirectTiledIOMonotoneInTileVolume(t *testing.T) {
 		prev = res.Counts.GlobalIO()
 	}
 }
+
+// randomShape draws a small random-but-valid convolution shape.
+func randomShape(rng *rand.Rand) shapes.ConvShape {
+	for {
+		s := shapes.ConvShape{
+			Batch: 1 + rng.Intn(2),
+			Cin:   1 + rng.Intn(4),
+			Hin:   5 + rng.Intn(8),
+			Win:   5 + rng.Intn(8),
+			Cout:  1 + rng.Intn(5),
+			Hker:  1 + rng.Intn(5),
+			Wker:  1 + rng.Intn(5),
+			Strid: 1 + rng.Intn(2),
+			Pad:   rng.Intn(3),
+		}
+		if s.Validate() == nil && s.Hout() >= 1 && s.Wout() >= 1 {
+			return s
+		}
+	}
+}
+
+// Property: the im2col+GEMM baseline's wet output matches Reference on
+// randomized shapes (strides, pads, non-square kernels included).
+func TestIm2colGEMMRandomShapesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 20; trial++ {
+		s := randomShape(rng)
+		in, ker := RandomOperands(s, int64(trial))
+		want, err := Reference(s, in, ker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Im2colGEMM(testArch, s, in, ker)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !tensor.AllClose(got.Output, want, tol) {
+			t.Fatalf("%v: wrong result, diff=%g", s, tensor.MaxAbsDiff(got.Output, want))
+		}
+		dry, err := Im2colGEMMDry(testArch, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Counts != dry.Counts {
+			t.Fatalf("%v: dry %v != wet %v", s, dry.Counts, got.Counts)
+		}
+	}
+}
+
+// Property: the implicit-GEMM wet output matches Reference on randomized
+// shapes and its dry counts equal its wet counts.
+func TestImplicitGEMMRandomShapesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 20; trial++ {
+		s := randomShape(rng)
+		in, ker := RandomOperands(s, int64(100+trial))
+		want, err := Reference(s, in, ker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ImplicitGEMM(testArch, s, in, ker)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !tensor.AllClose(got.Output, want, tol) {
+			t.Fatalf("%v: wrong result, diff=%g", s, tensor.MaxAbsDiff(got.Output, want))
+		}
+		dry, err := ImplicitGEMMDry(testArch, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Counts != dry.Counts {
+			t.Fatalf("%v: dry %v != wet %v", s, dry.Counts, got.Counts)
+		}
+	}
+}

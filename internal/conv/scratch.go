@@ -1,0 +1,134 @@
+package conv
+
+import (
+	"sync"
+
+	"repro/internal/memsim"
+	"repro/internal/tensor"
+)
+
+// This file is the wet kernels' scratch arena. Every wet dataflow execution
+// needs per-worker intermediate buffers — a simulated shared-memory Block,
+// small Winograd tile temporaries, the im2col patch and product matrices.
+// Allocating them per call makes the allocator (and the GC) the bottleneck
+// of back-to-back executions, so workers draw a kernelScratch from a
+// sync.Pool instead: Get at worker start, Put when the worker drains. A
+// recycled Block keeps its backing buffer and is re-pointed at the current
+// run's Counter via Reinit, so pooling is invisible in the I/O accounting —
+// tests pin pooled results bit-identical to fresh-allocation results.
+
+// kernelScratch bundles the reusable per-worker buffers of the wet
+// dataflow executors.
+type kernelScratch struct {
+	blk *memsim.Block
+	// bufs holds named float32 scratch slices (Winograd d-tile and y-tile,
+	// im2col patch/product, ...), grown on demand and reused across runs.
+	bufs [scratchBufs][]float32
+}
+
+// Indices into kernelScratch.bufs. Each wet kernel uses its own slots, so a
+// scratch recycled from one algorithm serves any other.
+const (
+	bufDTile = iota // Winograd α×α input sub-tile gather
+	bufYTile        // Winograd e×e output sub-tile
+	bufPatch        // im2col patch matrix
+	bufProd         // im2col GEMM product
+	scratchBufs
+)
+
+var scratchPool = sync.Pool{New: func() any { return new(kernelScratch) }}
+
+// getScratch returns a pooled scratch whose Block charges ctr and has the
+// given shared-memory capacity.
+func getScratch(ctr *memsim.Counter, capacity int) *kernelScratch {
+	ks := scratchPool.Get().(*kernelScratch)
+	if ks.blk == nil {
+		ks.blk = memsim.NewBlock(ctr, capacity)
+	} else {
+		ks.blk.Reinit(ctr, capacity)
+	}
+	return ks
+}
+
+func putScratch(ks *kernelScratch) { scratchPool.Put(ks) }
+
+// buf returns the named scratch slice with length n, growing the backing
+// array only when n exceeds its capacity. Contents are unspecified.
+func (ks *kernelScratch) buf(which, n int) []float32 {
+	if cap(ks.bufs[which]) < n {
+		ks.bufs[which] = make([]float32, n)
+	}
+	return ks.bufs[which][:n]
+}
+
+// stageInputTile fills inTile with the xp×yp window of channel c of image n
+// whose origin in (possibly padded) input coordinates is (oy, ox);
+// out-of-range elements are zero. For NCHW inputs rows are staged with
+// copy() instead of per-element AtPadded calls — the staging loop is on the
+// wet kernels' critical path.
+func stageInputTile(inTile []float32, input *tensor.Tensor, n, c, oy, ox, xp, yp int) {
+	if input.Lay != tensor.NCHW {
+		for j := 0; j < yp; j++ {
+			for i := 0; i < xp; i++ {
+				inTile[j*xp+i] = input.AtPadded(n, c, oy+j, ox+i)
+			}
+		}
+		return
+	}
+	base := (n*input.C + c) * input.H * input.W
+	// Valid column range: i in [i0, i1) has 0 <= ox+i < input.W, clamped to
+	// [0, xp] — the window may miss the input columns entirely (deep
+	// padding with a narrow tile), in which case every row is all zeros.
+	i0, i1 := 0, xp
+	if ox < 0 {
+		i0 = -ox
+	}
+	if over := ox + xp - input.W; over > 0 {
+		i1 = xp - over
+	}
+	if i0 > xp {
+		i0 = xp
+	}
+	if i1 < i0 {
+		i1 = i0
+	}
+	for j := 0; j < yp; j++ {
+		row := inTile[j*xp : (j+1)*xp]
+		ih := oy + j
+		if ih < 0 || ih >= input.H || i0 == i1 {
+			for i := range row {
+				row[i] = 0
+			}
+			continue
+		}
+		for i := 0; i < i0; i++ {
+			row[i] = 0
+		}
+		src := input.Data[base+ih*input.W : base+(ih+1)*input.W]
+		copy(row[i0:i1], src[ox+i0:ox+i1])
+		for i := i1; i < xp; i++ {
+			row[i] = 0
+		}
+	}
+}
+
+// stageKernelSlice fills wTile with the Hker×Wker weights of kernels
+// z0..z0+zz for channel c (row-major per kernel), using contiguous copies
+// for NCHW kernel tensors.
+func stageKernelSlice(wTile []float32, kernels *tensor.Tensor, z0, zz, c int) {
+	kk := kernels.H * kernels.W
+	if kernels.Lay == tensor.NCHW {
+		for k := 0; k < zz; k++ {
+			src := kernels.Data[((z0+k)*kernels.C+c)*kk : ((z0+k)*kernels.C+c+1)*kk]
+			copy(wTile[k*kk:(k+1)*kk], src)
+		}
+		return
+	}
+	for k := 0; k < zz; k++ {
+		for p := 0; p < kernels.H; p++ {
+			for q := 0; q < kernels.W; q++ {
+				wTile[k*kk+p*kernels.W+q] = kernels.At(z0+k, c, p, q)
+			}
+		}
+	}
+}

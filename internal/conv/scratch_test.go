@@ -1,0 +1,155 @@
+package conv
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+// The pooled scratch arena must be invisible: wet results computed through
+// recycled scratch (warm pool, concurrent callers) are bit-identical to a
+// fresh run — same output floats, same counts, same simulated time. Run
+// under -race in CI: the pool Get/Put and Block Reinit paths are exactly
+// where a sharing bug would surface.
+func TestPooledScratchBitIdenticalConcurrent(t *testing.T) {
+	type run func() (*Result, error)
+	s3 := shapes.ConvShape{Batch: 1, Cin: 8, Hin: 20, Win: 20, Cout: 12, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	s5 := shapes.ConvShape{Batch: 2, Cin: 4, Hin: 14, Win: 14, Cout: 6, Hker: 5, Wker: 5, Strid: 2, Pad: 2}
+	in3, ker3 := RandomOperands(s3, 21)
+	in5, ker5 := RandomOperands(s5, 22)
+	wcfg := DefaultWinogradConfig(testArch, s3, 2)
+	dcfg3 := DefaultDirectConfig(testArch, s3)
+	dcfg5 := DefaultDirectConfig(testArch, s5)
+
+	kernels := map[string]run{
+		"DirectTiled/3x3": func() (*Result, error) { return DirectTiled(testArch, s3, dcfg3, in3, ker3) },
+		"DirectTiled/5x5": func() (*Result, error) { return DirectTiled(testArch, s5, dcfg5, in5, ker5) },
+		"WinogradFused":   func() (*Result, error) { return WinogradFused(testArch, s3, wcfg, in3, ker3) },
+		"Im2colGEMM":      func() (*Result, error) { return Im2colGEMM(testArch, s3, in3, ker3) },
+		"ImplicitGEMM":    func() (*Result, error) { return ImplicitGEMM(testArch, s3, in3, ker3) },
+	}
+
+	for name, fn := range kernels {
+		t.Run(name, func(t *testing.T) {
+			ref, err := fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			const goroutines = 6
+			const iters = 3
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			diverged := make(chan string, goroutines*iters)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for it := 0; it < iters; it++ {
+						got, err := fn()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if got.Counts != ref.Counts || got.Seconds != ref.Seconds {
+							diverged <- "counts/time"
+							return
+						}
+						for i := range got.Output.Data {
+							if got.Output.Data[i] != ref.Output.Data[i] {
+								diverged <- "output"
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			close(diverged)
+			if err, ok := <-errs; ok {
+				t.Fatal(err)
+			}
+			if what, ok := <-diverged; ok {
+				t.Fatalf("pooled rerun diverged from reference (%s)", what)
+			}
+		})
+	}
+}
+
+// Deep padding (Pad >= Wker) with a 1-wide tile puts some blocks' staging
+// windows entirely inside the zero halo — the row-copy fast path must
+// produce the zeros AtPadded would, not walk off the input row.
+func TestDirectTiledDeepPaddingNarrowTile(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 5, Win: 5, Cout: 2, Hker: 1, Wker: 1, Strid: 1, Pad: 2}
+	if err := s.Validate(); err != nil {
+		t.Skipf("shape rejected: %v", err)
+	}
+	in, ker := RandomOperands(s, 9)
+	want, err := Reference(s, in, ker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{TileX: 1, TileY: 1, TileZ: 1, ThreadsX: 1, ThreadsY: 1, ThreadsZ: 1, SharedPerBlock: 1024}
+	res, err := DirectTiled(testArch, s, cfg, in, ker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(res.Output, want, tol) {
+		t.Fatalf("wrong result, diff=%g", tensor.MaxAbsDiff(res.Output, want))
+	}
+}
+
+// A recycled Block serving a larger kernel than its previous tenant must
+// grow, and the capacity check must still fire on overflow.
+func TestScratchBlockRegrowth(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 2, Hin: 8, Win: 8, Cout: 2, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	in, ker := RandomOperands(s, 3)
+	small := Config{TileX: 2, TileY: 2, TileZ: 1, ThreadsX: 1, ThreadsY: 1, ThreadsZ: 1, SharedPerBlock: 256}
+	big := Config{TileX: 8, TileY: 8, TileZ: 2, ThreadsX: 2, ThreadsY: 2, ThreadsZ: 1, SharedPerBlock: 4096}
+	want, err := Reference(s, in, ker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate so pooled blocks shrink and grow across runs.
+	for i := 0; i < 4; i++ {
+		for _, cfg := range []Config{small, big} {
+			res, err := DirectTiled(testArch, s, cfg, in, ker)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tensor.AllClose(res.Output, want, tol) {
+				t.Fatalf("cfg %v: wrong result after pool churn", cfg)
+			}
+		}
+	}
+}
+
+// stageInputTile's row-copy fast path must agree with the generic
+// per-element path on every clipping case (negative origin, right/bottom
+// overhang, fully out of range).
+func TestStageInputTileMatchesAtPadded(t *testing.T) {
+	input := tensor.New(2, 3, 9, 7)
+	input.FillRandom(5)
+	cases := []struct{ oy, ox, yp, xp int }{
+		{0, 0, 4, 4}, {-2, -2, 6, 6}, {7, 5, 4, 4}, {-3, 2, 3, 9},
+		{100, 100, 3, 3}, {-8, -8, 3, 3}, {4, -1, 8, 10},
+		// Valid rows but columns entirely outside the input: window fully
+		// left (including -ox > xp, the clamp case), fully right, and
+		// right-overhang beyond the window width.
+		{2, -5, 3, 3}, {2, -2, 3, 1}, {2, 20, 3, 3}, {2, 7, 3, 2},
+	}
+	for _, tc := range cases {
+		fast := make([]float32, tc.xp*tc.yp)
+		stageInputTile(fast, input, 1, 2, tc.oy, tc.ox, tc.xp, tc.yp)
+		for j := 0; j < tc.yp; j++ {
+			for i := 0; i < tc.xp; i++ {
+				want := input.AtPadded(1, 2, tc.oy+j, tc.ox+i)
+				if fast[j*tc.xp+i] != want {
+					t.Fatalf("case %+v: (%d,%d) = %g, want %g", tc, j, i, fast[j*tc.xp+i], want)
+				}
+			}
+		}
+	}
+}

@@ -33,37 +33,65 @@ func WinogradFused(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kern
 // WinogradFusedDry returns WinogradFused's counts and simulated time without
 // computing values.
 func WinogradFusedDry(arch memsim.Arch, s shapes.ConvShape, cfg Config) (*Result, error) {
-	if err := s.Validate(); err != nil {
+	r, err := DryWinogradFused(arch, s, cfg)
+	if err != nil {
 		return nil, err
 	}
-	if err := cfg.ValidateWinograd(s, arch); err != nil {
-		return nil, err
-	}
-	return winogradFused(arch, s, cfg, nil, nil)
+	return &r, nil
 }
 
-func winogradFused(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kernels *tensor.Tensor) (*Result, error) {
-	tr, err := winograd.NewTransform(cfg.WinogradE, s.Hker)
-	if err != nil {
-		return nil, fmt.Errorf("conv: %w", err)
+// DryWinogradFused is the allocation-free form of WinogradFusedDry: the
+// Result comes back by value, counts from the closed-form per-axis
+// aggregates and a cached transform. This is the evaluator behind every
+// Winograd tuning measurement.
+func DryWinogradFused(arch memsim.Arch, s shapes.ConvShape, cfg Config) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
 	}
-	hout, wout := s.Hout(), s.Wout()
-	bx := (wout + cfg.TileX - 1) / cfg.TileX
-	by := (hout + cfg.TileY - 1) / cfg.TileY
-	bz := (s.Cout + cfg.TileZ - 1) / cfg.TileZ
-	blocks := bx * by * bz * s.Batch
+	if err := cfg.ValidateWinograd(s, arch); err != nil {
+		return Result{}, err
+	}
+	counts, err := WinogradFusedCounts(s, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return dryResult(arch, counts, WinogradFusedLaunch(s, cfg)), nil
+}
 
-	mainLaunch := memsim.Launch{
-		Blocks:          blocks,
+// WinogradFusedCounts returns the exact traffic of the fused Winograd main
+// kernel for a (shape, config) pair. Like DirectTiledCounts, the counts
+// depend only on the tile axes plus the Winograd output edge e — threads,
+// Sb and layout enter through the launch, not the counts — so a memo keyed
+// by (x, y, z, e) covers the whole configuration space.
+func WinogradFusedCounts(s shapes.ConvShape, cfg Config) (memsim.Counts, error) {
+	tr, err := winograd.Cached(cfg.WinogradE, s.Hker)
+	if err != nil {
+		return memsim.Counts{}, fmt.Errorf("conv: %w", err)
+	}
+	bx, by, bz := blockGrid(s, cfg)
+	return dryWinoCounts(tr, s, cfg, bx, by, bz), nil
+}
+
+// WinogradFusedLaunch returns the launch geometry of the fused Winograd
+// dataflow for a (shape, config) pair.
+func WinogradFusedLaunch(s shapes.ConvShape, cfg Config) memsim.Launch {
+	bx, by, bz := blockGrid(s, cfg)
+	return memsim.Launch{
+		Blocks:          bx * by * bz * s.Batch,
 		ThreadsPerBlock: cfg.Threads(),
 		SharedPerBlock:  cfg.SharedPerBlock,
 		BandwidthEff:    layoutEff(cfg.Layout),
 	}
-	wet := input != nil
-	if !wet {
-		counts := dryWinoCounts(tr, s, cfg, bx, by, bz)
-		return finishPhased(arch, nil, []phase{{counts, mainLaunch}}), nil
+}
+
+func winogradFused(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kernels *tensor.Tensor) (*Result, error) {
+	tr, err := winograd.Cached(cfg.WinogradE, s.Hker)
+	if err != nil {
+		return nil, fmt.Errorf("conv: %w", err)
 	}
+	hout, wout := s.Hout(), s.Wout()
+	bx, by, bz := blockGrid(s, cfg)
+	mainLaunch := WinogradFusedLaunch(s, cfg)
 
 	out := tensor.New(s.Batch, s.Cout, hout, wout)
 	ctr := &memsim.Counter{}
@@ -74,9 +102,10 @@ func winogradFused(arch memsim.Arch, s shapes.ConvShape, cfg Config, input, kern
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			blk := memsim.NewBlock(ctr, cfg.SharedPerBlock)
+			ks := getScratch(ctr, cfg.SharedPerBlock)
+			defer putScratch(ks)
 			for b := range work {
-				runWinogradBlock(blk, tr, s, cfg, input, kernels, out, b.n, b.ix, b.iy, b.iz)
+				runWinogradBlock(ks, tr, s, cfg, input, kernels, out, b.n, b.ix, b.iy, b.iz)
 			}
 		}()
 	}
@@ -150,10 +179,12 @@ func dryWinoCounts(tr *winograd.Transform, s shapes.ConvShape, cfg Config, bx, b
 
 // runWinogradBlock updates one x×y×z output sub-block, counting as it
 // stages: raw weights arrive from off-chip memory and both transforms run on
-// chip at their sparse cost.
-func runWinogradBlock(blk *memsim.Block, tr *winograd.Transform, s shapes.ConvShape, cfg Config,
+// chip at their sparse cost. The small per-block tile temporaries come from
+// the worker's pooled scratch instead of per-call allocations.
+func runWinogradBlock(ks *kernelScratch, tr *winograd.Transform, s shapes.ConvShape, cfg Config,
 	input, kernels, out *tensor.Tensor, n, ix, iy, iz int) {
 
+	blk := ks.blk
 	e := cfg.WinogradE
 	r := s.Hker
 	alpha := e + r - 1
@@ -188,7 +219,7 @@ func runWinogradBlock(blk *memsim.Block, tr *winograd.Transform, s shapes.ConvSh
 	}
 
 	ctr := blkCounter(blk)
-	dtile := make([]float32, a2)
+	dtile := ks.buf(bufDTile, a2)
 	for c := 0; c < s.Cin; c++ {
 		// Stage the channel-c halo'd input tile once; every sub-tile reads
 		// from shared memory (input reuse across sub-tiles and kernels).
@@ -207,11 +238,7 @@ func runWinogradBlock(blk *memsim.Block, tr *winograd.Transform, s shapes.ConvSh
 		ctr.AddFlops(zz * subs * 2 * a2)
 		ctr.AddSharedLoads(zz * subs * 3 * a2)
 		ctr.AddSharedStores(zz * subs * a2)
-		for j := 0; j < yp; j++ {
-			for i := 0; i < xp; i++ {
-				inTile[j*xp+i] = input.AtPadded(n, c, oy+j, ox+i)
-			}
-		}
+		stageInputTile(inTile, input, n, c, oy, ox, xp, yp)
 		for t := 0; t < subs; t++ {
 			tx, ty := t%stx, t/stx
 			for j := 0; j < alpha; j++ {
@@ -220,17 +247,13 @@ func runWinogradBlock(blk *memsim.Block, tr *winograd.Transform, s shapes.ConvSh
 			tr.InputTransform(vbuf[t*a2:(t+1)*a2], dtile)
 		}
 		for k := 0; k < zz; k++ {
-			for p := 0; p < r; p++ {
-				for q := 0; q < r; q++ {
-					wbuf[p*r+q] = kernels.At(z0+k, c, p, q)
-				}
-			}
+			stageKernelSlice(wbuf, kernels, z0+k, 1, c)
 			tr.FilterTransform(ubuf, wbuf)
 			for t := 0; t < subs; t++ {
 				acc := pi[(k*subs+t)*a2 : (k*subs+t+1)*a2]
 				v := vbuf[t*a2 : (t+1)*a2]
-				for i := 0; i < a2; i++ {
-					acc[i] += ubuf[i] * v[i]
+				for i, uv := range ubuf {
+					acc[i] += uv * v[i]
 				}
 			}
 		}
@@ -241,22 +264,26 @@ func runWinogradBlock(blk *memsim.Block, tr *winograd.Transform, s shapes.ConvSh
 	ctr.AddSharedLoads(zz * subs * tr.OpsOutput())
 	ctr.AddGlobalStores(xx * yy * zz)
 	ctr.AddSharedLoads(xx * yy * zz)
-	ybuf := make([]float32, e*e)
+	ybuf := ks.buf(bufYTile, e*e)
+	nchw := out.Lay == tensor.NCHW
 	for k := 0; k < zz; k++ {
+		obase := ((n*out.C + z0 + k) * out.H) * out.W
 		for t := 0; t < subs; t++ {
 			tx, ty := t%stx, t/stx
 			tr.OutputTransform(ybuf, pi[(k*subs+t)*a2:(k*subs+t+1)*a2])
-			for j := 0; j < e; j++ {
+			// The clipped sub-tile: rows/cols beyond the block's clipped
+			// extent (and therefore beyond the output) are dropped.
+			nj := min(e, yy-ty*e)
+			ni := min(e, xx-tx*e)
+			w0 := x0 + tx*e
+			for j := 0; j < nj; j++ {
 				oh := y0 + ty*e + j
-				if oh >= hout || ty*e+j >= yy {
-					continue
-				}
-				for i := 0; i < e; i++ {
-					owi := x0 + tx*e + i
-					if owi >= wout || tx*e+i >= xx {
-						continue
+				if nchw {
+					copy(out.Data[obase+oh*out.W+w0:obase+oh*out.W+w0+ni], ybuf[j*e:j*e+ni])
+				} else {
+					for i := 0; i < ni; i++ {
+						out.Set(n, z0+k, oh, w0+i, ybuf[j*e+i])
 					}
-					out.Set(n, z0+k, oh, owi, ybuf[j*e+i])
 				}
 			}
 		}

@@ -71,30 +71,38 @@ func libraryDirect(arch memsim.Arch, s shapes.ConvShape) (*conv.Result, error) {
 	return col, nil
 }
 
-// tuneDirect tunes the Section 5.2 dataflow on the pruned searching domain.
-func tuneDirect(arch memsim.Arch, s shapes.ConvShape, budget int, seed int64) (*autotune.Trace, error) {
+// tuneDirect tunes the Section 5.2 dataflow on the pruned searching domain
+// with the given measurer (pass nil for a fresh memoized one).
+func tuneDirect(arch memsim.Arch, s shapes.ConvShape, measure autotune.Measurer, budget int, seed int64) (*autotune.Trace, error) {
 	sp, err := autotune.NewSpace(s, arch, autotune.Direct, 0, true)
 	if err != nil {
 		return nil, err
 	}
-	opts := autotune.DefaultOptions()
-	opts.Budget = budget
-	opts.Patience = 0
-	opts.Seed = seed
-	return autotune.Tune(sp, autotune.DirectMeasurer(arch, s), opts)
-}
-
-// tuneWinograd tunes the Section 5.3 fused Winograd dataflow (e = 2).
-func tuneWinograd(arch memsim.Arch, s shapes.ConvShape, budget int, seed int64) (*autotune.Trace, error) {
-	sp, err := autotune.NewSpace(s, arch, autotune.Winograd, 2, true)
-	if err != nil {
-		return nil, err
+	if measure == nil {
+		measure = autotune.DirectMeasurer(arch, s)
 	}
 	opts := autotune.DefaultOptions()
 	opts.Budget = budget
 	opts.Patience = 0
 	opts.Seed = seed
-	return autotune.Tune(sp, autotune.WinogradMeasurer(arch, s), opts)
+	return autotune.Tune(sp, measure, opts)
+}
+
+// tuneWinograd tunes the Section 5.3 fused Winograd dataflow (e = 2) with
+// the given measurer (pass nil for a fresh memoized one).
+func tuneWinograd(arch memsim.Arch, s shapes.ConvShape, measure autotune.Measurer, budget int, seed int64) (*autotune.Trace, error) {
+	sp, err := autotune.NewSpace(s, arch, autotune.Winograd, 2, true)
+	if err != nil {
+		return nil, err
+	}
+	if measure == nil {
+		measure = autotune.WinogradMeasurer(arch, s)
+	}
+	opts := autotune.DefaultOptions()
+	opts.Budget = budget
+	opts.Patience = 0
+	opts.Seed = seed
+	return autotune.Tune(sp, measure, opts)
 }
 
 // bestLayerSeconds returns the simulated time of one layer under the
@@ -111,7 +119,11 @@ func bestLayerSeconds(arch memsim.Arch, s shapes.ConvShape, budget int, seed int
 			baseline = wu.Seconds
 		}
 	}
-	dt, err := tuneDirect(arch, s, budget, seed)
+	// One memoized measurer per (arch, layer, kind) serves the tuning run
+	// and the coarse-grained default-config evaluations below: the engine's
+	// own measurements warm the memo the defaults then hit.
+	direct := autotune.NewMemoMeasure(arch, s, autotune.Direct)
+	dt, err := tuneDirect(arch, s, direct.Measure, budget, seed)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -119,16 +131,17 @@ func bestLayerSeconds(arch memsim.Arch, s shapes.ConvShape, budget int, seed int
 	// The coarse-grained dataflow designs themselves (Section 5's
 	// optimality-condition configs) are always candidates; tuning can only
 	// improve on them.
-	if res, derr := conv.DirectTiledDry(arch, s, conv.DefaultDirectConfig(arch, s)); derr == nil && res.Seconds < tuned {
-		tuned = res.Seconds
+	if m, ok := direct.Measure(conv.DefaultDirectConfig(arch, s)); ok && m.Seconds < tuned {
+		tuned = m.Seconds
 	}
 	if s.WinogradOK() && s.Hker == 3 {
-		if wt, werr := tuneWinograd(arch, s, budget, seed); werr == nil && wt.BestM.Seconds < tuned {
+		wino := autotune.NewMemoMeasure(arch, s, autotune.Winograd)
+		if wt, werr := tuneWinograd(arch, s, wino.Measure, budget, seed); werr == nil && wt.BestM.Seconds < tuned {
 			tuned = wt.BestM.Seconds
 		}
 		wcfg := conv.DefaultWinogradConfig(arch, s, 2)
-		if res, werr := conv.WinogradFusedDry(arch, s, wcfg); werr == nil && res.Seconds < tuned {
-			tuned = res.Seconds
+		if m, ok := wino.Measure(wcfg); ok && m.Seconds < tuned {
+			tuned = m.Seconds
 		}
 	}
 	if math.IsInf(tuned, 1) || tuned <= 0 {

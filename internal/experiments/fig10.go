@@ -39,7 +39,7 @@ func Fig10(opts Options) ([]Fig10Result, *report.Table, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			tuned, err := tuneDirect(arch, s, budget, opts.seed())
+			tuned, err := tuneDirect(arch, s, nil, budget, opts.seed())
 			if err != nil {
 				return nil, nil, err
 			}

@@ -59,7 +59,7 @@ func Fig13(opts Options) ([]Fig13Result, *report.Table, error) {
 					return nil, nil, err
 				}
 				lib = base.GFLOPS
-				ot, err := tuneWinograd(arch, c.s, budget, opts.seed())
+				ot, err := tuneWinograd(arch, c.s, nil, budget, opts.seed())
 				if err != nil {
 					return nil, nil, err
 				}
@@ -84,7 +84,7 @@ func Fig13(opts Options) ([]Fig13Result, *report.Table, error) {
 					return nil, nil, err
 				}
 				lib = base.GFLOPS
-				ot, err := tuneDirect(arch, c.s, budget, opts.seed())
+				ot, err := tuneDirect(arch, c.s, nil, budget, opts.seed())
 				if err != nil {
 					return nil, nil, err
 				}

@@ -51,7 +51,7 @@ func Fig9(opts Options) ([]Fig9Result, *report.Table, error) {
 				if err != nil {
 					return nil, nil, err
 				}
-				tuned, err := tuneDirect(arch, s, budget, opts.seed())
+				tuned, err := tuneDirect(arch, s, nil, budget, opts.seed())
 				if err != nil {
 					return nil, nil, err
 				}
@@ -69,7 +69,7 @@ func Fig9(opts Options) ([]Fig9Result, *report.Table, error) {
 			if err != nil {
 				return nil, nil, err
 			}
-			tuned, err := tuneWinograd(arch, s, budget, opts.seed())
+			tuned, err := tuneWinograd(arch, s, nil, budget, opts.seed())
 			if err != nil {
 				return nil, nil, err
 			}

@@ -1,0 +1,19 @@
+package gemm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Conv-shaped GEMM: the im2col baseline's (Cout × K) · (K × P) multiply.
+func BenchmarkBlockedConvShape(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m, k, n := 32, 288, 3136
+	x := randMat(rng, m*k)
+	y := randMat(rng, k*n)
+	c := make([]float32, m*n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Blocked(c, x, y, m, k, n, 0)
+	}
+}

@@ -31,7 +31,9 @@ func Naive(c, a, b []float32, m, k, n int) {
 const DefaultBlock = 64
 
 // Blocked computes C = A·B with square cache tiles of edge bs (DefaultBlock
-// if bs <= 0). C is overwritten.
+// if bs <= 0). C is overwritten. Internally it runs the packed microkernel
+// of packed.go: A/B panels are packed once per tile into contiguous 4-wide
+// strips and each 4×4 output micro-tile accumulates in registers.
 func Blocked(c, a, b []float32, m, k, n, bs int) {
 	checkDims(c, a, b, m, k, n)
 	if bs <= 0 {
@@ -40,60 +42,36 @@ func Blocked(c, a, b []float32, m, k, n, bs int) {
 	for i := range c[:m*n] {
 		c[i] = 0
 	}
-	for i0 := 0; i0 < m; i0 += bs {
-		i1 := min(i0+bs, m)
-		for p0 := 0; p0 < k; p0 += bs {
-			p1 := min(p0+bs, k)
-			for j0 := 0; j0 < n; j0 += bs {
-				j1 := min(j0+bs, n)
-				blockKernel(c, a, b, k, n, i0, i1, p0, p1, j0, j1)
-			}
-		}
-	}
-}
-
-// blockKernel accumulates the (i0:i1, j0:j1) tile of C from the matching
-// tiles of A and B. The inner loop runs over j so that B and C are streamed
-// with unit stride.
-func blockKernel(c, a, b []float32, k, n, i0, i1, p0, p1, j0, j1 int) {
-	for i := i0; i < i1; i++ {
-		arow := a[i*k : (i+1)*k]
-		crow := c[i*n : (i+1)*n]
-		for p := p0; p < p1; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b[p*n : (p+1)*n]
-			for j := j0; j < j1; j++ {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
+	packedGEMM(c, a, b, m, k, n, bs)
 }
 
 // Parallel computes C = A·B using up to workers goroutines (GOMAXPROCS if
 // workers <= 0), each handling a band of rows with the blocked kernel.
+// Bands split on multiples of the block size so no worker's tiles straddle
+// a cache block boundary.
 func Parallel(c, a, b []float32, m, k, n, bs, workers int) {
 	checkDims(c, a, b, m, k, n)
+	if bs <= 0 {
+		bs = DefaultBlock
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > m {
 		workers = m
 	}
-	if workers <= 1 {
+	// Band height: the per-worker row count rounded up to a whole number of
+	// blocks (at least one). Fewer workers may run than requested when the
+	// rounding leaves nothing for the tail.
+	rows := (m + workers - 1) / workers
+	rows = (rows + bs - 1) / bs * bs
+	if rows >= m || workers <= 1 {
 		Blocked(c, a, b, m, k, n, bs)
 		return
 	}
 	var wg sync.WaitGroup
-	rows := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * rows
+	for lo := 0; lo < m; lo += rows {
 		hi := min(lo+rows, m)
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()

@@ -139,3 +139,50 @@ func BenchmarkParallel256(b *testing.B) {
 		Parallel(c, x, y, n, n, n, 0, 0)
 	}
 }
+
+// Parallel bands now split on multiples of the block size; correctness must
+// hold for every awkward (m, bs, workers) combination, including bands that
+// swallow the whole matrix and odd m far from any block multiple.
+func TestParallelBlockAlignedBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dims := []struct{ m, k, n, bs, workers int }{
+		{130, 33, 45, 64, 2}, // two 64-row bands + a 2-row tail band
+		{130, 33, 45, 64, 3}, // rounding leaves fewer bands than workers
+		{63, 17, 29, 64, 4},  // one block: everything collapses to Blocked
+		{257, 40, 31, 32, 8}, // many aligned bands + 1-row tail
+		{96, 24, 24, 32, 5},  // workers does not divide block count
+		{7, 5, 9, 2, 3},      // tiny blocks, micro-tile edges everywhere
+	}
+	for _, d := range dims {
+		a := randMat(rng, d.m*d.k)
+		b := randMat(rng, d.k*d.n)
+		want := make([]float32, d.m*d.n)
+		got := make([]float32, d.m*d.n)
+		Naive(want, a, b, d.m, d.k, d.n)
+		Parallel(got, a, b, d.m, d.k, d.n, d.bs, d.workers)
+		if diff := maxDiff(got, want); diff > 1e-4 {
+			t.Errorf("parallel m=%d k=%d n=%d bs=%d w=%d: max diff %g",
+				d.m, d.k, d.n, d.bs, d.workers, diff)
+		}
+	}
+}
+
+// The packed microkernel's zero-padded edge strips must never leak into C:
+// every m, n in 1..9 (all micro-tile remainders) against the naive oracle.
+func TestPackedMicroTileEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for m := 1; m <= 9; m++ {
+		for n := 1; n <= 9; n++ {
+			k := 1 + (m+n)%5
+			a := randMat(rng, m*k)
+			b := randMat(rng, k*n)
+			want := make([]float32, m*n)
+			got := make([]float32, m*n)
+			Naive(want, a, b, m, k, n)
+			Blocked(got, a, b, m, k, n, 4)
+			if diff := maxDiff(got, want); diff > 1e-4 {
+				t.Errorf("m=%d k=%d n=%d: max diff %g", m, k, n, diff)
+			}
+		}
+	}
+}

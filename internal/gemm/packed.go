@@ -1,0 +1,190 @@
+package gemm
+
+import "sync"
+
+// This file is the packed microkernel behind Blocked and Parallel. The
+// classic blocked loop streams B straight out of the operand matrix, which
+// leaves the inner loop with strided, bounds-checked loads and one output
+// row in flight. The packed kernel instead:
+//
+//   - packs the A panel (all rows × one kc slice of k) into 4-row strips
+//     stored p-major, so the microkernel reads its four A operands from
+//     four consecutive floats;
+//   - packs each kc×nc B tile into 4-column strips stored p-major, giving
+//     the microkernel consecutive loads for its four B operands;
+//   - accumulates a 4×4 output micro-tile in sixteen registers, unrolled
+//     with no bounds checks in the p loop.
+//
+// Panels are packed once per (kc, nc) tile and reused by every micro-tile
+// that touches them; pack buffers come from a sync.Pool so steady-state
+// multiplication performs no allocations. Edge strips (m or n not a
+// multiple of 4) are zero-padded in the packs — the padded lanes compute
+// zeros that are simply not written back.
+
+// mr×nr is the micro-tile: 4×4 float32 accumulators live in registers.
+const microTile = 4
+
+// packBuf is a reusable pair of packing buffers.
+type packBuf struct {
+	a []float32 // packed A panel: strips of 4 rows, p-major
+	b []float32 // packed B tile: strips of 4 cols, p-major
+}
+
+var packPool = sync.Pool{New: func() any { return new(packBuf) }}
+
+func (pb *packBuf) sized(an, bn int) (a, b []float32) {
+	if cap(pb.a) < an {
+		pb.a = make([]float32, an)
+	}
+	if cap(pb.b) < bn {
+		pb.b = make([]float32, bn)
+	}
+	return pb.a[:an], pb.b[:bn]
+}
+
+// packA writes rows [0, m) × cols [p0, p0+kc) of A (row-major m×k) into
+// dst as ceil(m/4) strips: strip s holds rows 4s..4s+3 interleaved p-major
+// (dst[(s·kc+p)*4+r] = A[4s+r][p0+p]), zero-padding missing rows.
+func packA(dst, a []float32, m, k, p0, kc int) {
+	idx := 0
+	for i0 := 0; i0 < m; i0 += microTile {
+		r0 := a[(i0+0)*k+p0:]
+		r1, r2, r3 := r0, r0, r0
+		n := m - i0
+		if n > 1 {
+			r1 = a[(i0+1)*k+p0:]
+		}
+		if n > 2 {
+			r2 = a[(i0+2)*k+p0:]
+		}
+		if n > 3 {
+			r3 = a[(i0+3)*k+p0:]
+		}
+		for p := 0; p < kc; p++ {
+			dst[idx] = r0[p]
+			if n > 1 {
+				dst[idx+1] = r1[p]
+			} else {
+				dst[idx+1] = 0
+			}
+			if n > 2 {
+				dst[idx+2] = r2[p]
+			} else {
+				dst[idx+2] = 0
+			}
+			if n > 3 {
+				dst[idx+3] = r3[p]
+			} else {
+				dst[idx+3] = 0
+			}
+			idx += microTile
+		}
+	}
+}
+
+// packB writes rows [p0, p0+kc) × cols [j0, j0+nc) of B (row-major k×n)
+// into dst as ceil(nc/4) strips: strip s holds cols j0+4s..j0+4s+3
+// interleaved p-major, zero-padding missing columns.
+func packB(dst, b []float32, k, n, p0, kc, j0, nc int) {
+	idx := 0
+	for jj := 0; jj < nc; jj += microTile {
+		w := nc - jj
+		if w > microTile {
+			w = microTile
+		}
+		for p := 0; p < kc; p++ {
+			row := b[(p0+p)*n+j0+jj:]
+			switch w {
+			case 4:
+				dst[idx] = row[0]
+				dst[idx+1] = row[1]
+				dst[idx+2] = row[2]
+				dst[idx+3] = row[3]
+			default:
+				for c := 0; c < microTile; c++ {
+					if c < w {
+						dst[idx+c] = row[c]
+					} else {
+						dst[idx+c] = 0
+					}
+				}
+			}
+			idx += microTile
+		}
+	}
+}
+
+// microKernel accumulates the 4×4 micro-tile C[i0:i0+4, j0+jj:j0+jj+4] from
+// one packed A strip and one packed B strip over kc steps. rows/cols bound
+// the write-back for edge tiles.
+func microKernel(c []float32, ap, bp []float32, kc, n, i0, jcol, rows, cols int) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	var c20, c21, c22, c23 float32
+	var c30, c31, c32, c33 float32
+	// Both packs are read with unit stride; the slice headers below let the
+	// compiler drop bounds checks inside the unrolled loop.
+	ap = ap[: kc*microTile : kc*microTile]
+	bp = bp[: kc*microTile : kc*microTile]
+	for p := 0; p < kc; p++ {
+		a0, a1, a2, a3 := ap[p*4], ap[p*4+1], ap[p*4+2], ap[p*4+3]
+		b0, b1, b2, b3 := bp[p*4], bp[p*4+1], bp[p*4+2], bp[p*4+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	acc := [4][4]float32{
+		{c00, c01, c02, c03},
+		{c10, c11, c12, c13},
+		{c20, c21, c22, c23},
+		{c30, c31, c32, c33},
+	}
+	for r := 0; r < rows; r++ {
+		crow := c[(i0+r)*n+jcol:]
+		for cc := 0; cc < cols; cc++ {
+			crow[cc] += acc[r][cc]
+		}
+	}
+}
+
+// packedGEMM computes C += A·B over the full m×n output using kc×nc panel
+// blocking with bs as the panel edge. C must be zeroed by the caller
+// (Blocked does; Parallel's bands call through Blocked).
+func packedGEMM(c, a, b []float32, m, k, n, bs int) {
+	pb := packPool.Get().(*packBuf)
+	defer packPool.Put(pb)
+	mStrips := (m + microTile - 1) / microTile
+	for p0 := 0; p0 < k; p0 += bs {
+		kc := min(bs, k-p0)
+		ap, _ := pb.sized(mStrips*microTile*kc, 0)
+		packA(ap, a, m, k, p0, kc)
+		for j0 := 0; j0 < n; j0 += bs {
+			nc := min(bs, n-j0)
+			nStrips := (nc + microTile - 1) / microTile
+			_, bp := pb.sized(mStrips*microTile*kc, nStrips*microTile*kc)
+			packB(bp, b, k, n, p0, kc, j0, nc)
+			for i0 := 0; i0 < m; i0 += microTile {
+				rows := min(microTile, m-i0)
+				astrip := ap[(i0/microTile)*microTile*kc:]
+				for jj := 0; jj < nc; jj += microTile {
+					cols := min(microTile, nc-jj)
+					bstrip := bp[(jj/microTile)*microTile*kc:]
+					microKernel(c, astrip, bstrip, kc, n, i0, j0+jj, rows, cols)
+				}
+			}
+		}
+	}
+}

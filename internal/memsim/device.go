@@ -131,6 +131,25 @@ func (b *Block) Alloc(n int) []float32 {
 // Counted traffic is unaffected.
 func (b *Block) Reset() { b.used = 0 }
 
+// Reinit re-purposes a block for a new kernel execution: it releases all
+// allocations, points the block at a (possibly different) counter and
+// adjusts its capacity, growing the backing buffer only when the new
+// capacity exceeds it. It exists so kernel scratch pools can recycle blocks
+// across launches without reallocating their shared-memory buffers.
+func (b *Block) Reinit(counter *Counter, capacity int) {
+	if capacity < 1 {
+		panic(fmt.Sprintf("memsim: block capacity %d < 1", capacity))
+	}
+	b.counter = counter
+	b.capacity = capacity
+	b.used = 0
+	if cap(b.buf) < capacity {
+		b.buf = make([]float32, capacity)
+	} else {
+		b.buf = b.buf[:capacity]
+	}
+}
+
 // LoadGlobal copies src (off-chip) into dst (which must be shared memory
 // obtained from Alloc) and counts the traffic: a global load and a shared
 // store per element.

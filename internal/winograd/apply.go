@@ -5,48 +5,96 @@ package winograd
 // them in (simulated) on-chip memory.
 
 // FilterTransform computes U = G·g·Gᵀ for an r×r filter tile g, producing an
-// α×α transformed tile in dst. dst must have length α².
+// α×α transformed tile in dst. dst must have length α². F(2,3) and F(4,3)
+// take the straight-line kernels in fast.go; everything else the generic
+// sparse apply.
 func (t *Transform) FilterTransform(dst, g []float32) {
+	if t.fast() {
+		if t.M == 2 {
+			filter23(dst, g)
+		} else {
+			filter43(dst, g)
+		}
+		return
+	}
 	t.apply(dst, g, t.G, t.R, t.Alpha)
 }
 
 // InputTransform computes V = Bᵀ·d·B for an α×α input tile d, producing an
 // α×α transformed tile in dst. dst must have length α².
 func (t *Transform) InputTransform(dst, d []float32) {
+	if t.fast() {
+		if t.M == 2 {
+			input23(dst, d)
+		} else {
+			input43(dst, d)
+		}
+		return
+	}
 	t.apply(dst, d, t.BT, t.Alpha, t.Alpha)
 }
 
 // OutputTransform computes Y = Aᵀ·Π·A for an α×α accumulated tile Π,
 // producing the m×m output tile in dst. dst must have length m².
 func (t *Transform) OutputTransform(dst, pi []float32) {
+	if t.fast() {
+		if t.M == 2 {
+			output23(dst, pi)
+		} else {
+			output43(dst, pi)
+		}
+		return
+	}
 	t.apply(dst, pi, t.AT, t.Alpha, t.M)
 }
 
+// applyMaxTile bounds the stack scratch of apply: transforms up to F(8, 8)
+// (α = 15) fit, far beyond the e ∈ {2, 3, 4}, r = 3 tiles the dataflows use.
+const applyMaxTile = 15
+
 // apply computes dst = M·src·Mᵀ where M is out×in and src is an in×in
-// row-major tile, writing an out×out row-major tile.
+// row-major tile, writing an out×out row-major tile. The intermediate lives
+// in a fixed-size stack array (the hot kernel paths call this per sub-tile
+// per channel, so a heap allocation here would dominate the run) and zero
+// matrix entries — most of M, the matrices are sparse by construction — are
+// skipped.
 func (t *Transform) apply(dst, src []float32, m [][]float64, in, out int) {
 	if len(src) < in*in || len(dst) < out*out {
 		panic("winograd: tile buffer too small")
 	}
-	// tmp = M·src (out×in).
-	tmp := make([]float64, out*in)
+	if in > applyMaxTile || out > applyMaxTile {
+		panic("winograd: tile exceeds applyMaxTile")
+	}
+	// tmp = M·src (out×in), accumulated row-wise: tmp[i] += m[i][k]·src[k].
+	var buf [applyMaxTile * applyMaxTile]float64
+	tmp := buf[:out*in]
 	for i := 0; i < out; i++ {
-		for j := 0; j < in; j++ {
-			var s float64
-			for k := 0; k < in; k++ {
-				s += m[i][k] * float64(src[k*in+j])
+		row := tmp[i*in : (i+1)*in]
+		for j := range row {
+			row[j] = 0
+		}
+		for k := 0; k < in; k++ {
+			mv := m[i][k]
+			if mv == 0 {
+				continue
 			}
-			tmp[i*in+j] = s
+			srow := src[k*in : (k+1)*in]
+			for j, sv := range srow {
+				row[j] += mv * float64(sv)
+			}
 		}
 	}
 	// dst = tmp·Mᵀ (out×out).
 	for i := 0; i < out; i++ {
+		trow := tmp[i*in : (i+1)*in]
+		drow := dst[i*out : (i+1)*out]
 		for j := 0; j < out; j++ {
 			var s float64
-			for k := 0; k < in; k++ {
-				s += tmp[i*in+k] * m[j][k]
+			mrow := m[j]
+			for k, tv := range trow {
+				s += tv * mrow[k]
 			}
-			dst[i*out+j] = float32(s)
+			drow[j] = float32(s)
 		}
 	}
 }

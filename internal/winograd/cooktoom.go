@@ -17,6 +17,7 @@ package winograd
 import (
 	"fmt"
 	"math/big"
+	"sync"
 )
 
 // defaultPoints is the standard sequence of interpolation points. Small
@@ -42,6 +43,10 @@ type Transform struct {
 	AT [][]float64 // m×α output transform
 	G  [][]float64 // α×r filter transform
 	BT [][]float64 // α×α input transform
+
+	// Sparse-cost flop counts of the three 2-D transforms, precomputed at
+	// construction so the dry-run counting paths never rescan the matrices.
+	opsIn, opsFilter, opsOut int
 }
 
 // The transform matrices are sparse (most entries are 0 and ±1), and real
@@ -50,13 +55,13 @@ type Transform struct {
 // report that sparse cost; the simulator charges it for on-chip transforms.
 
 // OpsInput is the flop cost of one 2-D input transform Bᵀ·d·B.
-func (t *Transform) OpsInput() int { return transformOps(t.BT, t.Alpha, t.Alpha) }
+func (t *Transform) OpsInput() int { return t.opsIn }
 
 // OpsFilter is the flop cost of one 2-D filter transform G·g·Gᵀ.
-func (t *Transform) OpsFilter() int { return transformOps(t.G, t.Alpha, t.R) }
+func (t *Transform) OpsFilter() int { return t.opsFilter }
 
 // OpsOutput is the flop cost of one 2-D output transform Aᵀ·Π·A.
-func (t *Transform) OpsOutput() int { return transformOps(t.AT, t.M, t.Alpha) }
+func (t *Transform) OpsOutput() int { return t.opsOut }
 
 func transformOps(m [][]float64, p, q int) int {
 	nnz := 0
@@ -92,7 +97,48 @@ func NewTransform(m, r int) (*Transform, error) {
 	g := evaluationMatrix(pts, r)            // α×r
 	bt := interpolationTranspose(pts, alpha) // α×α
 
-	return &Transform{M: m, R: r, Alpha: alpha, AT: at, G: g, BT: bt}, nil
+	t := &Transform{M: m, R: r, Alpha: alpha, AT: at, G: g, BT: bt}
+	t.opsIn = transformOps(t.BT, t.Alpha, t.Alpha)
+	t.opsFilter = transformOps(t.G, t.Alpha, t.R)
+	t.opsOut = transformOps(t.AT, t.M, t.Alpha)
+	return t, nil
+}
+
+// cached holds the transforms already constructed, keyed by F(m, r). The
+// Cook–Toom construction runs exact rational arithmetic, far too slow (and
+// allocation-heavy) for the measurement hot path that needs a transform per
+// dry evaluation; every caller on that path goes through Cached instead.
+var cached struct {
+	mu sync.RWMutex
+	m  map[[2]int]*Transform
+}
+
+// Cached returns the F(m, r) transform, building and memoizing it on first
+// use. The returned Transform is shared and must be treated as read-only
+// (every method on it already is). It is safe for concurrent use.
+func Cached(m, r int) (*Transform, error) {
+	key := [2]int{m, r}
+	cached.mu.RLock()
+	t := cached.m[key]
+	cached.mu.RUnlock()
+	if t != nil {
+		return t, nil
+	}
+	t, err := NewTransform(m, r)
+	if err != nil {
+		return nil, err
+	}
+	cached.mu.Lock()
+	if prev := cached.m[key]; prev != nil {
+		t = prev // keep the first construction so pointers stay stable
+	} else {
+		if cached.m == nil {
+			cached.m = make(map[[2]int]*Transform)
+		}
+		cached.m[key] = t
+	}
+	cached.mu.Unlock()
+	return t, nil
 }
 
 // evaluationMatrix returns the α×w matrix Q with Q[i][j] = aᵢʲ for the

@@ -1,0 +1,154 @@
+package winograd
+
+// This file holds straight-line float32 kernels for the two transform
+// families the convolution dataflows actually tune over — F(2×2, 3×3) and
+// F(4×4, 3×3) — using the classic interpolation points 0, ±1 (, ±2), ∞.
+// They are what a real backend would emit for these tile sizes: no loops,
+// no float64 round trips, exact Winograd identities (each triple of
+// matrices is self-consistent, so Y = Aᵀ[(G·g·Gᵀ)⊙(Bᵀ·d·B)]·A holds exactly
+// in real arithmetic regardless of the generic construction's scaling).
+// Every other F(m, r) falls back to the generic apply path, which doubles
+// as the correctness oracle in the tests.
+
+// fast reports whether the specialized kernels cover this transform.
+func (t *Transform) fast() bool { return t.R == 3 && (t.M == 2 || t.M == 4) }
+
+// input23 computes V = Bᵀ·d·B for F(2,3): d and dst are 4×4 row-major.
+func input23(dst, d []float32) {
+	_ = d[15]
+	_ = dst[15]
+	var t [16]float32
+	for j := 0; j < 4; j++ {
+		d0, d1, d2, d3 := d[j], d[4+j], d[8+j], d[12+j]
+		t[j] = d0 - d2
+		t[4+j] = d1 + d2
+		t[8+j] = d2 - d1
+		t[12+j] = d1 - d3
+	}
+	for i := 0; i < 4; i++ {
+		t0, t1, t2, t3 := t[4*i], t[4*i+1], t[4*i+2], t[4*i+3]
+		dst[4*i] = t0 - t2
+		dst[4*i+1] = t1 + t2
+		dst[4*i+2] = t2 - t1
+		dst[4*i+3] = t1 - t3
+	}
+}
+
+// filter23 computes U = G·g·Gᵀ for F(2,3): g is 3×3, dst is 4×4.
+func filter23(dst, g []float32) {
+	_ = g[8]
+	_ = dst[15]
+	var t [12]float32 // G·g, 4×3
+	for j := 0; j < 3; j++ {
+		g0, g1, g2 := g[j], g[3+j], g[6+j]
+		t[j] = g0
+		t[3+j] = 0.5 * (g0 + g1 + g2)
+		t[6+j] = 0.5 * (g0 - g1 + g2)
+		t[9+j] = g2
+	}
+	for i := 0; i < 4; i++ {
+		t0, t1, t2 := t[3*i], t[3*i+1], t[3*i+2]
+		dst[4*i] = t0
+		dst[4*i+1] = 0.5 * (t0 + t1 + t2)
+		dst[4*i+2] = 0.5 * (t0 - t1 + t2)
+		dst[4*i+3] = t2
+	}
+}
+
+// output23 computes Y = Aᵀ·Π·A for F(2,3): pi is 4×4, dst is 2×2.
+func output23(dst, pi []float32) {
+	_ = pi[15]
+	_ = dst[3]
+	var t [8]float32 // Aᵀ·Π, 2×4
+	for j := 0; j < 4; j++ {
+		p0, p1, p2, p3 := pi[j], pi[4+j], pi[8+j], pi[12+j]
+		t[j] = p0 + p1 + p2
+		t[4+j] = p1 - p2 - p3
+	}
+	for i := 0; i < 2; i++ {
+		t0, t1, t2, t3 := t[4*i], t[4*i+1], t[4*i+2], t[4*i+3]
+		dst[2*i] = t0 + t1 + t2
+		dst[2*i+1] = t1 - t2 - t3
+	}
+}
+
+// input43 computes V = Bᵀ·d·B for F(4,3): d and dst are 6×6 row-major.
+func input43(dst, d []float32) {
+	_ = d[35]
+	_ = dst[35]
+	var t [36]float32
+	for j := 0; j < 6; j++ {
+		d0, d1, d2 := d[j], d[6+j], d[12+j]
+		d3, d4, d5 := d[18+j], d[24+j], d[30+j]
+		t[j] = 4*d0 - 5*d2 + d4
+		t[6+j] = -4*d1 - 4*d2 + d3 + d4
+		t[12+j] = 4*d1 - 4*d2 - d3 + d4
+		t[18+j] = -2*d1 - d2 + 2*d3 + d4
+		t[24+j] = 2*d1 - d2 - 2*d3 + d4
+		t[30+j] = 4*d1 - 5*d3 + d5
+	}
+	for i := 0; i < 6; i++ {
+		t0, t1, t2 := t[6*i], t[6*i+1], t[6*i+2]
+		t3, t4, t5 := t[6*i+3], t[6*i+4], t[6*i+5]
+		dst[6*i] = 4*t0 - 5*t2 + t4
+		dst[6*i+1] = -4*t1 - 4*t2 + t3 + t4
+		dst[6*i+2] = 4*t1 - 4*t2 - t3 + t4
+		dst[6*i+3] = -2*t1 - t2 + 2*t3 + t4
+		dst[6*i+4] = 2*t1 - t2 - 2*t3 + t4
+		dst[6*i+5] = 4*t1 - 5*t3 + t5
+	}
+}
+
+// filter43 computes U = G·g·Gᵀ for F(4,3): g is 3×3, dst is 6×6.
+func filter43(dst, g []float32) {
+	_ = g[8]
+	_ = dst[35]
+	const (
+		c4  = float32(1.0 / 4.0)
+		c6  = float32(1.0 / 6.0)
+		c12 = float32(1.0 / 12.0)
+		c24 = float32(1.0 / 24.0)
+	)
+	var t [18]float32 // G·g, 6×3
+	for j := 0; j < 3; j++ {
+		g0, g1, g2 := g[j], g[3+j], g[6+j]
+		t[j] = c4 * g0
+		t[3+j] = -c6 * (g0 + g1 + g2)
+		t[6+j] = c6 * (-g0 + g1 - g2)
+		t[9+j] = c24*g0 + c12*g1 + c6*g2
+		t[12+j] = c24*g0 - c12*g1 + c6*g2
+		t[15+j] = g2
+	}
+	for i := 0; i < 6; i++ {
+		t0, t1, t2 := t[3*i], t[3*i+1], t[3*i+2]
+		dst[6*i] = c4 * t0
+		dst[6*i+1] = -c6 * (t0 + t1 + t2)
+		dst[6*i+2] = c6 * (-t0 + t1 - t2)
+		dst[6*i+3] = c24*t0 + c12*t1 + c6*t2
+		dst[6*i+4] = c24*t0 - c12*t1 + c6*t2
+		dst[6*i+5] = t2
+	}
+}
+
+// output43 computes Y = Aᵀ·Π·A for F(4,3): pi is 6×6, dst is 4×4.
+func output43(dst, pi []float32) {
+	_ = pi[35]
+	_ = dst[15]
+	var t [24]float32 // Aᵀ·Π, 4×6
+	for j := 0; j < 6; j++ {
+		p0, p1, p2 := pi[j], pi[6+j], pi[12+j]
+		p3, p4, p5 := pi[18+j], pi[24+j], pi[30+j]
+		t[j] = p0 + p1 + p2 + p3 + p4
+		t[6+j] = p1 - p2 + 2*p3 - 2*p4
+		t[12+j] = p1 + p2 + 4*p3 + 4*p4
+		t[18+j] = p1 - p2 + 8*p3 - 8*p4 + p5
+	}
+	for i := 0; i < 4; i++ {
+		t0, t1, t2 := t[6*i], t[6*i+1], t[6*i+2]
+		t3, t4, t5 := t[6*i+3], t[6*i+4], t[6*i+5]
+		dst[4*i] = t0 + t1 + t2 + t3 + t4
+		dst[4*i+1] = t1 - t2 + 2*t3 - 2*t4
+		dst[4*i+2] = t1 + t2 + 4*t3 + 4*t4
+		dst[4*i+3] = t1 - t2 + 8*t3 - 8*t4 + t5
+	}
+}

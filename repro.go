@@ -174,6 +174,28 @@ func MeasureFFTConv(arch Arch, s Shape) (*Result, error) {
 	return conv.FFTConvDry(arch, s)
 }
 
+// Measurement is one dry-run measurement outcome, as produced by the
+// engine's measurers.
+type Measurement = autotune.Measurement
+
+// Measurer evaluates one configuration; ok is false for configurations
+// that fail to build or exceed resources.
+type Measurer = autotune.Measurer
+
+// NewDirectMeasurer returns a reusable, memoized measurer for the direct
+// dataflow on one (arch, shape): repeated evaluations of configurations
+// sharing an output tile are O(1) lookups and the steady state allocates
+// nothing, which is what makes batch evaluation (and tuning) fast. Safe
+// for concurrent use.
+func NewDirectMeasurer(arch Arch, s Shape) Measurer {
+	return autotune.DirectMeasurer(arch, s)
+}
+
+// NewWinogradMeasurer is NewDirectMeasurer for the fused Winograd dataflow.
+func NewWinogradMeasurer(arch Arch, s Shape) Measurer {
+	return autotune.WinogradMeasurer(arch, s)
+}
+
 // TuneOptions controls a tuning run; the zero value selects defaults.
 type TuneOptions struct {
 	// Budget is the maximum number of measurements (default 400).
