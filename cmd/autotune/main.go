@@ -6,6 +6,7 @@
 //	autotune -cin 96 -hw 27 -cout 256 -k 5 -pad 2 -arch V100 -budget 300
 //	autotune -algo winograd -cin 256 -hw 13 -cout 384 -k 3 -pad 1
 //	autotune -workers 8 -measure-latency 500us -cin 96 -hw 27 -cout 256 -k 5 -pad 2
+//	autotune -no-prune -cin 96 -hw 27 -cout 256 -k 5 -pad 2   # disable bound-guided pruning
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "parallel measurement workers (result is identical for any count)")
 	latency := flag.Duration("measure-latency", 0, "emulated per-measurement hardware round-trip (e.g. 500us)")
+	noPrune := flag.Bool("no-prune", false, "disable bound-guided pruning (measure every selected candidate)")
 	emit := flag.Bool("emit", false, "print the kernel schedule of the winning configuration")
 	cachePath := flag.String("cache", "", "tuning-cache JSON file (read if present, updated on exit)")
 	flag.Parse()
@@ -70,7 +72,7 @@ func main() {
 		return
 	}
 
-	opts := repro.TuneOptions{Budget: *budget, Seed: *seed, Workers: *workers, MeasureLatency: *latency}
+	opts := repro.TuneOptions{Budget: *budget, Seed: *seed, Workers: *workers, MeasureLatency: *latency, NoPrune: *noPrune}
 	var trace *repro.TuneTrace
 	switch kind {
 	case autotune.Direct:
@@ -85,7 +87,8 @@ func main() {
 
 	fmt.Printf("layer:       %v\n", s)
 	fmt.Printf("arch:        %s\n", arch.Name)
-	fmt.Printf("measurements %d, best found at #%d\n", trace.Measurements, trace.ConvergedAt)
+	fmt.Printf("measurements %d (%d candidates pruned by the I/O lower bound), best found at #%d\n",
+		trace.Measurements, trace.Pruned, trace.ConvergedAt)
 	fmt.Printf("best config: %v\n", trace.Best)
 	fmt.Printf("simulated:   %.3gs (%.0f GFLOP/s)\n", trace.BestM.Seconds, trace.BestM.GFLOPS)
 

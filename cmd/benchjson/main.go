@@ -34,8 +34,10 @@ type row struct {
 }
 
 // defaultBench selects the hot-path benchmarks: the dry-measurement unit of
-// work, the wet kernels, the conv-shaped GEMM and the network-level sweep.
-const defaultBench = "BenchmarkMeasureDry|BenchmarkDirectTiledWet|BenchmarkWinogradFusedWet|BenchmarkTuneNetwork|BenchmarkBlockedConvShape"
+// work, the wet kernels, the conv-shaped GEMM, the network-level sweep, and
+// the search-engine overhead pair (the bound-guided loop vs its pre-rework
+// baseline, and the incremental vs from-scratch cost-model refit).
+const defaultBench = "BenchmarkMeasureDry|BenchmarkDirectTiledWet|BenchmarkWinogradFusedWet|BenchmarkTuneNetwork|BenchmarkBlockedConvShape|BenchmarkTuneEngine|BenchmarkTrainGBTIncremental"
 
 // parseLine parses one `go test -bench` result line, e.g.
 //

@@ -11,7 +11,10 @@ import (
 // This file holds the searcher baselines the paper compares against in
 // Figure 11: simulated annealing, genetic search and random search, all
 // operating on the (typically unpruned) configuration space with direct
-// measurements — the strategies TVM offers.
+// measurements — the strategies TVM offers. The baselines are deliberately
+// bound-blind: they never consult Space.BoundSeconds and measure every
+// candidate they select, which is exactly what sharpens the Figure 11 /
+// Table 2 contrast with the bound-guided engine in tuner.go.
 
 // RandomSearch measures uniformly sampled configurations.
 func RandomSearch(sp *Space, measure Measurer, opts Options) (*Trace, error) {

@@ -1,0 +1,144 @@
+package autotune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+)
+
+// engineBenchLayer is AlexNet conv2 — the mid-size layer the engine
+// benchmarks and Table 2 share.
+func engineBenchLayer() shapes.ConvShape {
+	return shapes.ConvShape{Batch: 1, Cin: 96, Hin: 27, Win: 27, Cout: 256, Hker: 5, Wker: 5, Strid: 1, Pad: 2}
+}
+
+// BenchmarkTuneEngine measures the engine's own overhead: a fixed-budget
+// Tune against a warmed memoized measurer, whose steady-state measurement
+// is a ~30ns map lookup — so model refits, proposal ranking and
+// bookkeeping are essentially all that is timed.
+//
+//	current — the bound-guided engine (warm-started GBT, heap ranking, pruning)
+//	noprune — the same engine with the bound filter off
+//	prePR   — the engine exactly as it stood before the rework (full GBT
+//	          retrain per batch, full sorts, no pruning; see legacy_test.go)
+//
+// The acceptance bar for the rework is current ≥ 3x faster than prePR at
+// matching solution quality; the benchmark reports each variant's final
+// GFLOPS so the quality side is visible in the same output.
+func BenchmarkTuneEngine(b *testing.B) {
+	arch := memsim.V100
+	s := engineBenchLayer()
+	measure := DirectMeasurer(arch, s) // shared memo: measurements are free after round one
+	opts := DefaultOptions()
+	opts.Budget = 192
+	opts.Patience = 0
+	opts.Seed = 1
+
+	variants := []struct {
+		name string
+		run  func(*Space, Measurer, Options) (*Trace, error)
+		mod  func(*Options)
+	}{
+		{"current", Tune, func(*Options) {}},
+		{"noprune", Tune, func(o *Options) { o.NoPrune = true }},
+		{"prePR", legacyTune, func(*Options) {}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			o := opts
+			v.mod(&o)
+			var best, pruned float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp, err := NewSpace(s, arch, Direct, 0, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tr, err := v.run(sp, measure, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				best = tr.BestM.GFLOPS
+				pruned = float64(tr.Pruned)
+			}
+			b.ReportMetric(best, "best-gflops")
+			b.ReportMetric(pruned, "pruned")
+		})
+	}
+}
+
+// BenchmarkTrainGBTIncremental isolates the cost-model refit strategy on
+// the engine's exact access pattern — a dataset growing by one batch per
+// iteration:
+//
+//	full-retrain — the pre-rework strategy: a from-scratch 60-round fit
+//	               (per-node value sorts) after every batch
+//	warm-start   — the new strategy: one full fit, then 8-round
+//	               GBTModel.Update per batch on the presorted column index,
+//	               with a from-scratch refresh when the forest hits its cap
+//
+// One op = consuming all batches of the same grown dataset.
+func BenchmarkTrainGBTIncremental(b *testing.B) {
+	const start, step, total = 64, 8, 320
+	x, y := benchRows(total, 13)
+
+	b.Run("full-retrain", func(b *testing.B) {
+		b.ReportAllocs()
+		var m *GBTModel
+		for i := 0; i < b.N; i++ {
+			for n := start; n <= total; n += step {
+				m = legacyTrainGBT(DefaultGBTConfig(), x[:n], y[:n])
+			}
+		}
+		b.ReportMetric(float64(m.NumTrees()), "trees")
+	})
+	b.Run("warm-start", func(b *testing.B) {
+		cfg := DefaultGBTConfig()
+		maxForest := 4 * cfg.Trees
+		b.ReportAllocs()
+		var m *GBTModel
+		for i := 0; i < b.N; i++ {
+			m = TrainGBT(cfg, x[:start], y[:start])
+			for n := start + step; n <= total; n += step {
+				if m.NumTrees()+cfg.UpdateTrees > maxForest {
+					m = TrainGBT(cfg, x[:n], y[:n])
+				} else {
+					m.Update(x[:n], y[:n], cfg.UpdateTrees)
+				}
+			}
+		}
+		b.ReportMetric(float64(m.NumTrees()), "trees")
+	})
+}
+
+// benchRows draws feature rows from a real tuning space with their
+// measured log-costs, so both trainer benchmarks see the engine's true
+// feature distribution (quantized axes, massed ties) rather than smooth
+// synthetic data.
+func benchRows(n int, seed int64) ([][]float64, []float64) {
+	arch := memsim.V100
+	s := engineBenchLayer()
+	sp, err := NewSpace(s, arch, Direct, 0, true)
+	if err != nil {
+		panic(err)
+	}
+	measure := DirectMeasurer(arch, s)
+	rng := rand.New(rand.NewSource(seed))
+	var x [][]float64
+	var y []float64
+	for len(x) < n {
+		c := sp.Sample(rng)
+		m, ok := measure(c)
+		cost := 20.0
+		if ok {
+			cost = math.Log(m.Seconds)
+		}
+		x = append(x, sp.Features(c))
+		y = append(y, cost)
+	}
+	return x, y
+}

@@ -8,27 +8,48 @@ import (
 // This file implements the learned cost model: gradient-boosted regression
 // trees with squared loss, the same model family (XGBoost) the paper's
 // engine and TVM both use. Stdlib only, built from scratch.
+//
+// The trainer is built for the tuning loop's access pattern — the dataset
+// grows by one small batch per engine iteration — so it supports warm-start
+// refits: Update keeps the fitted trees and boosts additional rounds
+// against the residuals over the grown dataset. Split finding runs on
+// per-feature presorted column indices that are built once and merged
+// incrementally as batches arrive, replacing the per-node value sort of a
+// naive implementation with a single prefix sweep per (node, feature).
 
 // GBTConfig holds the boosting hyperparameters.
 type GBTConfig struct {
-	Trees        int     // number of boosting rounds
+	Trees        int     // number of boosting rounds of a full fit
 	MaxDepth     int     // tree depth limit
 	MinSamples   int     // minimum samples to split a node
 	LearningRate float64 // shrinkage
 	Thresholds   int     // candidate split thresholds per feature
+	// UpdateTrees is how many fresh boosting rounds one warm-start Update
+	// fits — the engine's per-batch refit size.
+	UpdateTrees int
 }
 
 // DefaultGBTConfig mirrors common XGBoost-for-autotuning settings.
 func DefaultGBTConfig() GBTConfig {
-	return GBTConfig{Trees: 60, MaxDepth: 4, MinSamples: 4, LearningRate: 0.3, Thresholds: 16}
+	return GBTConfig{Trees: 60, MaxDepth: 4, MinSamples: 4, LearningRate: 0.3, Thresholds: 16, UpdateTrees: 8}
 }
 
 // GBTModel is a fitted gradient-boosted tree ensemble predicting a scalar
-// cost (the tuner trains it on log simulated runtime).
+// cost (the tuner trains it on log simulated runtime). Beyond the trees it
+// retains its training state — rows, per-row ensemble predictions, and the
+// presorted column indices — so Update can continue boosting where the
+// last fit stopped.
 type GBTModel struct {
 	cfg   GBTConfig
 	base  float64
 	trees []*treeNode
+
+	x    [][]float64
+	y    []float64
+	pred []float64 // current ensemble prediction per training row
+	cols [][]int32 // per feature: row ids ordered by (value, row)
+
+	sc trainScratch
 }
 
 type treeNode struct {
@@ -40,33 +61,337 @@ type treeNode struct {
 	leaf      bool
 }
 
-// TrainGBT fits the ensemble on (x, y). It panics on empty or ragged input.
+// trainScratch holds the recycled buffers of the level-wise tree grower;
+// nothing here survives a fit except as garbage-free capacity.
+type trainScratch struct {
+	resid   []float64 // per-row residual for the tree being fit
+	nodeOf  []int32   // per-row active-node id (-1 once settled in a leaf)
+	flatVal []float64 // column values grouped by node, in sorted order
+	flatRes []float64 // residuals aligned with flatVal
+	cur     []int     // per-node write cursor into the flat arrays
+	newIdx  []int32   // column-merge scratch for freshly ingested rows
+}
+
+// TrainGBT fits the ensemble on (x, y). It panics on empty or ragged
+// input. The returned model supports warm-start refits via Update.
 func TrainGBT(cfg GBTConfig, x [][]float64, y []float64) *GBTModel {
 	if len(x) == 0 || len(x) != len(y) {
 		panic("autotune: bad training set")
 	}
 	m := &GBTModel{cfg: cfg}
 	m.base = mean(y)
-	resid := make([]float64, len(y))
-	pred := make([]float64, len(y))
-	for i := range pred {
-		pred[i] = m.base
-	}
-	idx := make([]int, len(y))
-	for i := range idx {
-		idx[i] = i
-	}
-	for t := 0; t < cfg.Trees; t++ {
-		for i := range resid {
-			resid[i] = y[i] - pred[i]
-		}
-		tree := buildTree(cfg, x, resid, idx, 0)
-		m.trees = append(m.trees, tree)
-		for i := range pred {
-			pred[i] += cfg.LearningRate * tree.predict(x[i])
-		}
-	}
+	m.ingest(x, y)
+	m.boost(cfg.Trees)
 	return m
+}
+
+// Update warm-starts the model on a grown dataset: x and y must extend the
+// rows the model was trained on (earlier rows unchanged, new rows
+// appended). The fitted trees are kept; rounds fresh trees are boosted
+// against the residuals over the whole grown dataset. Calling Update with
+// the original dataset is exactly equivalent to a full retrain whose
+// configured rounds match the total — the split between TrainGBT and
+// Update does not change a single bit of the model (tests pin this).
+func (m *GBTModel) Update(x [][]float64, y []float64, rounds int) {
+	if len(x) != len(y) || len(x) < len(m.x) {
+		panic("autotune: Update dataset must extend the trained rows")
+	}
+	m.ingest(x, y)
+	m.boost(rounds)
+}
+
+// NumTrees reports the fitted boosting rounds so far.
+func (m *GBTModel) NumTrees() int { return len(m.trees) }
+
+// ingest adopts the grown dataset: it predicts the new rows under the
+// current forest and merges them into the presorted column indices.
+func (m *GBTModel) ingest(x [][]float64, y []float64) {
+	old := len(m.x)
+	if old == 0 {
+		m.cols = make([][]int32, len(x[0]))
+	}
+	for i := old; i < len(x); i++ {
+		m.pred = append(m.pred, m.Predict(x[i]))
+	}
+	m.x, m.y = x, y
+	for f := range m.cols {
+		m.cols[f] = m.mergeColumn(m.cols[f], f, old)
+	}
+}
+
+// mergeColumn extends one presorted column index with rows old..len(x)-1:
+// the new ids are sorted by (value, row) and merged from the back into the
+// (possibly regrown) backing array, so steady-state updates reuse storage.
+func (m *GBTModel) mergeColumn(col []int32, f, old int) []int32 {
+	n := len(m.x)
+	if old == n {
+		return col
+	}
+	idx := m.sc.newIdx[:0]
+	for r := old; r < n; r++ {
+		idx = append(idx, int32(r))
+	}
+	m.sc.newIdx = idx
+	vals := m.x
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if vals[a][f] != vals[b][f] {
+			return vals[a][f] < vals[b][f]
+		}
+		return a < b
+	})
+	if cap(col) < n {
+		grown := make([]int32, len(col), n+n/2)
+		copy(grown, col)
+		col = grown
+	}
+	// Backward merge: fill positions n-1..0 from the tails of the old index
+	// and the new batch; positions below the write cursor are still unread
+	// old entries, so the merge is safely in place.
+	col = col[:n]
+	i, j := old-1, len(idx)-1
+	for w := n - 1; j >= 0; w-- {
+		if i >= 0 && colAfter(vals, f, col[i], idx[j]) {
+			col[w] = col[i]
+			i--
+		} else {
+			col[w] = idx[j]
+			j--
+		}
+	}
+	return col
+}
+
+// colAfter reports whether row a orders after row b in column f.
+func colAfter(x [][]float64, f int, a, b int32) bool {
+	if x[a][f] != x[b][f] {
+		return x[a][f] > x[b][f]
+	}
+	return a > b
+}
+
+// boost fits rounds more trees on the current residuals.
+func (m *GBTModel) boost(rounds int) {
+	for t := 0; t < rounds; t++ {
+		tree := m.fitTree()
+		m.trees = append(m.trees, tree)
+		for i := range m.pred {
+			m.pred[i] += m.cfg.LearningRate * tree.predict(m.x[i])
+		}
+	}
+}
+
+// growNode is one frontier node of the level-wise tree grower.
+type growNode struct {
+	tn       *treeNode
+	count    int
+	sum      float64 // residual sum over members, accumulated in row order
+	sumSq    float64
+	bestFeat int
+	bestThr  float64
+	bestGain float64
+}
+
+// fitTree grows one regression tree on the residuals y − pred, level by
+// level: each level distributes every feature column (already sorted) into
+// per-node segments with one linear pass, finds each node's best split with
+// a prefix sweep over its segment, and reassigns rows to the children in a
+// single row-order pass. No sorting happens per node.
+func (m *GBTModel) fitTree() *treeNode {
+	n := len(m.x)
+	cfg := m.cfg
+	sc := &m.sc
+	sc.resid = grow(sc.resid, n)
+	sc.nodeOf = grow(sc.nodeOf, n)
+	sc.flatVal = grow(sc.flatVal, n)
+	sc.flatRes = grow(sc.flatRes, n)
+
+	root := &treeNode{}
+	level := []growNode{{tn: root, bestFeat: -1}}
+	for i := 0; i < n; i++ {
+		sc.nodeOf[i] = 0
+		r := m.y[i] - m.pred[i]
+		sc.resid[i] = r
+		level[0].count++
+		level[0].sum += r
+		level[0].sumSq += r * r
+	}
+
+	kThr := cfg.Thresholds
+	if kThr < 1 {
+		kThr = 1
+	}
+	for depth := 0; len(level) > 0; depth++ {
+		// Settle the nodes that may not split (depth or sample limits, as in
+		// a plain recursive grower) and renumber the splitters 0..k-1.
+		splitters := 0
+		for g := range level {
+			node := &level[g]
+			if depth >= cfg.MaxDepth || node.count < cfg.MinSamples {
+				node.tn.leaf = true
+				node.tn.value = node.sum / float64(node.count)
+				node.bestFeat = -2 // settled
+			} else {
+				node.bestFeat = -1
+				node.bestGain = 0
+				// count is repurposed to hold the node's renumbered
+				// splitter id; the member count is recomputed from nodeOf
+				// in the renumber pass below and restored after compaction.
+				node.count, splitters = splitters, splitters+1
+			}
+		}
+		if splitters == 0 {
+			break
+		}
+		// Renumber nodeOf to the splitter ids (settled rows go to -1) and
+		// recount members per splitter (count was repurposed as the id).
+		counts := grow(sc.cur, splitters)
+		sc.cur = counts
+		for j := range counts {
+			counts[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			g := sc.nodeOf[i]
+			if g < 0 {
+				continue
+			}
+			if level[g].bestFeat == -2 {
+				sc.nodeOf[i] = -1
+				continue
+			}
+			id := int32(level[g].count)
+			sc.nodeOf[i] = id
+			counts[id]++
+		}
+		// Compact the frontier to just the splitters, restoring counts and
+		// recomputing offsets.
+		frontier := level[:0]
+		for g := range level {
+			if level[g].bestFeat != -2 {
+				frontier = append(frontier, level[g])
+			}
+		}
+		level = frontier
+		offsets := make([]int, splitters+1)
+		for j := 0; j < splitters; j++ {
+			level[j].count = counts[j]
+			offsets[j+1] = offsets[j] + counts[j]
+		}
+
+		// Split search: one pass per feature distributes the presorted
+		// column into per-node segments; each segment is then swept once.
+		for f := range m.cols {
+			cur := counts[:0]
+			cur = append(cur, offsets[:splitters]...)
+			for _, r := range m.cols[f] {
+				g := sc.nodeOf[r]
+				if g < 0 {
+					continue
+				}
+				sc.flatVal[cur[g]] = m.x[r][f]
+				sc.flatRes[cur[g]] = sc.resid[r]
+				cur[g]++
+			}
+			for j := 0; j < splitters; j++ {
+				m.sweepSegment(&level[j], f, sc.flatVal[offsets[j]:offsets[j+1]], sc.flatRes[offsets[j]:offsets[j+1]], kThr)
+			}
+		}
+
+		// Materialize the splits and reassign rows to children in row order
+		// (so child sums accumulate exactly as a recursive grower's would).
+		next := make([]growNode, 0, 2*splitters)
+		childOf := make([]int32, splitters) // left child id; right is +1
+		for j := 0; j < splitters; j++ {
+			node := &level[j]
+			if node.bestFeat < 0 {
+				node.tn.leaf = true
+				node.tn.value = node.sum / float64(node.count)
+				childOf[j] = -1
+				continue
+			}
+			node.tn.feature = node.bestFeat
+			node.tn.threshold = node.bestThr
+			node.tn.left = &treeNode{}
+			node.tn.right = &treeNode{}
+			childOf[j] = int32(len(next))
+			next = append(next,
+				growNode{tn: node.tn.left, bestFeat: -1},
+				growNode{tn: node.tn.right, bestFeat: -1})
+		}
+		for i := 0; i < n; i++ {
+			j := sc.nodeOf[i]
+			if j < 0 {
+				continue
+			}
+			c := childOf[j]
+			if c < 0 {
+				sc.nodeOf[i] = -1
+				continue
+			}
+			node := &level[j]
+			if m.x[i][node.bestFeat] > node.bestThr {
+				c++
+			}
+			sc.nodeOf[i] = c
+			r := sc.resid[i]
+			next[c].count++
+			next[c].sum += r
+			next[c].sumSq += r * r
+		}
+		level = next
+	}
+	return root
+}
+
+// sweepSegment finds the best split of one node on one feature. vals/res
+// hold the node's members in ascending value order; candidate thresholds
+// are up to kThr midpoints between distinct adjacent values (stride-
+// subsampled exactly like a sorted-uniques scan), and each candidate's
+// gain comes from running prefix sums — one linear sweep replaces the
+// per-threshold passes of a naive grower. Ties keep the first (lowest
+// feature, lowest threshold) candidate, matching in-order search.
+func (m *GBTModel) sweepSegment(node *growNode, f int, vals, res []float64, kThr int) {
+	cuts := 0
+	for i := 1; i < len(vals); i++ {
+		if vals[i] != vals[i-1] {
+			cuts++
+		}
+	}
+	if cuts < 1 {
+		return
+	}
+	step := 1
+	if cuts > kThr {
+		step = cuts / kThr
+	}
+	total, totalSq := node.sum, node.sumSq
+	baseSSE := totalSq - total*total/float64(node.count)
+	var lSum, lSq float64
+	lN := 0
+	b := 0
+	for i := 0; i < len(vals); {
+		v := vals[i]
+		for i < len(vals) && vals[i] == v {
+			r := res[i]
+			lSum += r
+			lSq += r * r
+			lN++
+			i++
+		}
+		if i >= len(vals) {
+			break
+		}
+		if b%step == 0 {
+			rN := node.count - lN
+			rSum := total - lSum
+			rSq := totalSq - lSq
+			sse := (lSq - lSum*lSum/float64(lN)) + (rSq - rSum*rSum/float64(rN))
+			if gain := baseSSE - sse; gain > node.bestGain+1e-12 {
+				node.bestFeat, node.bestThr, node.bestGain = f, (v+vals[i])/2, gain
+			}
+		}
+		b++
+	}
 }
 
 // Predict returns the modeled cost for one feature vector.
@@ -110,86 +435,13 @@ func (n *treeNode) predict(f []float64) float64 {
 	return n.value
 }
 
-// buildTree grows one regression tree on the residuals of the rows in idx.
-func buildTree(cfg GBTConfig, x [][]float64, resid []float64, idx []int, depth int) *treeNode {
-	if depth >= cfg.MaxDepth || len(idx) < cfg.MinSamples {
-		return &treeNode{leaf: true, value: meanAt(resid, idx)}
+// grow resizes a recycled buffer to n elements, reallocating with slack
+// only when the capacity is short. Contents are unspecified.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n, n+n/2)
 	}
-	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
-	total, totalSq := sums(resid, idx)
-	baseSSE := totalSq - total*total/float64(len(idx))
-
-	nf := len(x[idx[0]])
-	vals := make([]float64, 0, len(idx))
-	for f := 0; f < nf; f++ {
-		vals = vals[:0]
-		for _, i := range idx {
-			vals = append(vals, x[i][f])
-		}
-		for _, thr := range candidateThresholds(vals, cfg.Thresholds) {
-			var lSum, lSq, lN float64
-			for _, i := range idx {
-				if x[i][f] <= thr {
-					lSum += resid[i]
-					lSq += resid[i] * resid[i]
-					lN++
-				}
-			}
-			rN := float64(len(idx)) - lN
-			if lN < 1 || rN < 1 {
-				continue
-			}
-			rSum := total - lSum
-			rSq := totalSq - lSq
-			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
-			if gain := baseSSE - sse; gain > bestGain+1e-12 {
-				bestFeat, bestThr, bestGain = f, thr, gain
-			}
-		}
-	}
-	if bestFeat < 0 {
-		return &treeNode{leaf: true, value: meanAt(resid, idx)}
-	}
-	var left, right []int
-	for _, i := range idx {
-		if x[i][bestFeat] <= bestThr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	return &treeNode{
-		feature:   bestFeat,
-		threshold: bestThr,
-		left:      buildTree(cfg, x, resid, left, depth+1),
-		right:     buildTree(cfg, x, resid, right, depth+1),
-	}
-}
-
-// candidateThresholds returns up to k midpoints between distinct sorted
-// values.
-func candidateThresholds(vals []float64, k int) []float64 {
-	sorted := append([]float64(nil), vals...)
-	sort.Float64s(sorted)
-	uniq := sorted[:0]
-	for i, v := range sorted {
-		if i == 0 || v != sorted[i-1] {
-			uniq = append(uniq, v)
-		}
-	}
-	if len(uniq) < 2 {
-		return nil
-	}
-	cuts := len(uniq) - 1
-	step := 1
-	if cuts > k {
-		step = cuts / k
-	}
-	var out []float64
-	for i := 0; i < cuts; i += step {
-		out = append(out, (uniq[i]+uniq[i+1])/2)
-	}
-	return out
+	return buf[:n]
 }
 
 func mean(v []float64) float64 {
@@ -198,25 +450,6 @@ func mean(v []float64) float64 {
 		s += x
 	}
 	return s / float64(len(v))
-}
-
-func meanAt(v []float64, idx []int) float64 {
-	if len(idx) == 0 {
-		return 0
-	}
-	var s float64
-	for _, i := range idx {
-		s += v[i]
-	}
-	return s / float64(len(idx))
-}
-
-func sums(v []float64, idx []int) (sum, sumSq float64) {
-	for _, i := range idx {
-		sum += v[i]
-		sumSq += v[i] * v[i]
-	}
-	return sum, sumSq
 }
 
 // RMSE is a convenience for model-quality tests.

@@ -1,0 +1,110 @@
+package autotune
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthRows builds a deterministic synthetic regression set with mixed
+// continuous and quantized features — quantized columns produce the massed
+// value ties the column-index trainer must handle.
+func synthRows(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a := rng.Float64()*4 - 2
+		b := float64(rng.Intn(5))
+		c := rng.Float64()
+		d := float64(rng.Intn(2))
+		x[i] = []float64{a, b, c, d}
+		y[i] = a*a + 0.7*b - 1.3*c*d + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// The headline warm-start contract: fitting R1 rounds and updating with R2
+// more on the same dataset is bit-identical to a single full retrain of
+// R1+R2 rounds — the split point does not change the model.
+func TestGBTUpdateEqualsFullRetrain(t *testing.T) {
+	x, y := synthRows(240, 17)
+	for _, split := range []struct{ first, rest int }{{40, 20}, {1, 59}, {59, 1}, {30, 0}} {
+		fullCfg := DefaultGBTConfig()
+		fullCfg.Trees = split.first + split.rest
+		full := TrainGBT(fullCfg, x, y)
+
+		incCfg := DefaultGBTConfig()
+		incCfg.Trees = split.first
+		inc := TrainGBT(incCfg, x, y)
+		inc.Update(x, y, split.rest)
+
+		if got, want := inc.NumTrees(), full.NumTrees(); got != want {
+			t.Fatalf("split %v: %d trees, want %d", split, got, want)
+		}
+		probe := rand.New(rand.NewSource(5))
+		for i := 0; i < 200; i++ {
+			v := []float64{probe.Float64()*4 - 2, float64(probe.Intn(5)), probe.Float64(), float64(probe.Intn(2))}
+			if a, b := inc.Predict(v), full.Predict(v); a != b {
+				t.Fatalf("split %v: Predict diverges: %v vs %v at %v", split, a, b, v)
+			}
+		}
+	}
+}
+
+// Update on a grown dataset keeps the old trees and keeps learning: the
+// warm-started model must fit the full set far better than the stale model
+// it grew from, and at least as well as base-rate prediction.
+func TestGBTUpdateLearnsGrownDataset(t *testing.T) {
+	xAll, yAll := synthRows(600, 3)
+	m := TrainGBT(DefaultGBTConfig(), xAll[:100], yAll[:100])
+	stale := m.RMSE(xAll, yAll)
+	for n := 200; n <= 600; n += 100 {
+		m.Update(xAll[:n], yAll[:n], 8)
+	}
+	if got := m.NumTrees(); got != 60+5*8 {
+		t.Fatalf("forest has %d trees, want %d", got, 60+5*8)
+	}
+	warm := m.RMSE(xAll, yAll)
+	if math.IsNaN(warm) || warm >= stale {
+		t.Errorf("warm-started RMSE %v did not improve on stale %v", warm, stale)
+	}
+	// And it must remain a usable model outright.
+	if warm > 0.8 {
+		t.Errorf("warm-started RMSE %v too high", warm)
+	}
+}
+
+// Update panics when the dataset does not extend the trained rows.
+func TestGBTUpdateRejectsShrunkDataset(t *testing.T) {
+	x, y := synthRows(50, 9)
+	m := TrainGBT(DefaultGBTConfig(), x, y)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on shrunk Update dataset")
+		}
+	}()
+	m.Update(x[:10], y[:10], 4)
+}
+
+// The column-index trainer must behave identically whether ties abound or
+// not; a constant feature must never be chosen as a split.
+func TestGBTConstantFeatureIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a := rng.Float64()
+		x = append(x, []float64{1.5, a}) // feature 0 constant
+		y = append(y, 3*a)
+	}
+	m := TrainGBT(DefaultGBTConfig(), x, y)
+	for _, imp := range m.FeatureImportance() {
+		if imp.Feature == FeatureNames[0] {
+			t.Errorf("model split on a constant feature: %+v", imp)
+		}
+	}
+	if rmse := m.RMSE(x, y); rmse > 0.05 {
+		t.Errorf("RMSE %v too high on a linear single-feature target", rmse)
+	}
+}

@@ -1,0 +1,284 @@
+package autotune
+
+// This file preserves the pre-bound-guided engine verbatim — the tuning
+// loop and the sort-per-node GBT trainer exactly as they stood before the
+// engine rework — as a test-only baseline. BenchmarkTuneEngine measures
+// the new engine against legacyTune to substantiate the claimed engine-
+// overhead speedup, and the comparison tests check the rework did not
+// change what the search finds. Nothing here ships in the library.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/conv"
+)
+
+// legacyTrainGBT is the pre-rework trainer: every fit is from scratch and
+// every tree node re-sorts its members' values per feature to pick
+// candidate thresholds.
+func legacyTrainGBT(cfg GBTConfig, x [][]float64, y []float64) *GBTModel {
+	if len(x) == 0 || len(x) != len(y) {
+		panic("autotune: bad training set")
+	}
+	m := &GBTModel{cfg: cfg}
+	m.base = legacyMean(y)
+	resid := make([]float64, len(y))
+	pred := make([]float64, len(y))
+	for i := range pred {
+		pred[i] = m.base
+	}
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := 0; t < cfg.Trees; t++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		tree := legacyBuildTree(cfg, x, resid, idx, 0)
+		m.trees = append(m.trees, tree)
+		for i := range pred {
+			pred[i] += cfg.LearningRate * tree.predict(x[i])
+		}
+	}
+	return m
+}
+
+func legacyBuildTree(cfg GBTConfig, x [][]float64, resid []float64, idx []int, depth int) *treeNode {
+	if depth >= cfg.MaxDepth || len(idx) < cfg.MinSamples {
+		return &treeNode{leaf: true, value: legacyMeanAt(resid, idx)}
+	}
+	bestFeat, bestThr, bestGain := -1, 0.0, 0.0
+	var total, totalSq float64
+	for _, i := range idx {
+		total += resid[i]
+		totalSq += resid[i] * resid[i]
+	}
+	baseSSE := totalSq - total*total/float64(len(idx))
+
+	nf := len(x[idx[0]])
+	vals := make([]float64, 0, len(idx))
+	for f := 0; f < nf; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, x[i][f])
+		}
+		for _, thr := range legacyCandidateThresholds(vals, cfg.Thresholds) {
+			var lSum, lSq, lN float64
+			for _, i := range idx {
+				if x[i][f] <= thr {
+					lSum += resid[i]
+					lSq += resid[i] * resid[i]
+					lN++
+				}
+			}
+			rN := float64(len(idx)) - lN
+			if lN < 1 || rN < 1 {
+				continue
+			}
+			rSum := total - lSum
+			rSq := totalSq - lSq
+			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
+			if gain := baseSSE - sse; gain > bestGain+1e-12 {
+				bestFeat, bestThr, bestGain = f, thr, gain
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &treeNode{leaf: true, value: legacyMeanAt(resid, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &treeNode{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      legacyBuildTree(cfg, x, resid, left, depth+1),
+		right:     legacyBuildTree(cfg, x, resid, right, depth+1),
+	}
+}
+
+func legacyCandidateThresholds(vals []float64, k int) []float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	uniq := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	if len(uniq) < 2 {
+		return nil
+	}
+	cuts := len(uniq) - 1
+	step := 1
+	if cuts > k {
+		step = cuts / k
+	}
+	var out []float64
+	for i := 0; i < cuts; i += step {
+		out = append(out, (uniq[i]+uniq[i+1])/2)
+	}
+	return out
+}
+
+func legacyMean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func legacyMeanAt(v []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += v[i]
+	}
+	return s / float64(len(idx))
+}
+
+// legacyTune is the pre-rework engine loop: full GBT retrain every batch,
+// full sorts for the top-k set and the proposal ranking, no pruning.
+func legacyTune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
+	opts = opts.normalized()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	rec := &record{trace: Trace{Method: "ate"}}
+
+	var feats [][]float64
+	var featStore []float64
+	var costs []float64
+	seen := make(map[conv.Config]bool)
+	type scoredCfg struct {
+		cfg  conv.Config
+		cost float64
+	}
+	var topK []scoredCfg
+
+	var batchBuf []conv.Config
+	var resultBuf []measured
+	measureBatch := func(cands []conv.Config) {
+		batch := batchBuf[:0]
+		for _, c := range cands {
+			if rec.trace.Measurements+len(batch) >= opts.Budget {
+				break
+			}
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			batch = append(batch, c)
+		}
+		batchBuf = batch
+		resultBuf = measureAllInto(resultBuf, measure, batch, opts.Workers, opts.MeasureLatency)
+		for i, c := range batch {
+			m, ok := resultBuf[i].m, resultBuf[i].ok
+			rec.add(c, m, ok)
+			cost := 20.0
+			if ok {
+				cost = math.Log(m.Seconds)
+				topK = append(topK, scoredCfg{c, m.Seconds})
+				sort.Slice(topK, func(i, j int) bool { return topK[i].cost < topK[j].cost })
+				if len(topK) > opts.Walkers {
+					topK = topK[:opts.Walkers]
+				}
+			}
+			start := len(featStore)
+			featStore = sp.FeaturesInto(featStore, c)
+			feats = append(feats, featStore[start:len(featStore):len(featStore)])
+			costs = append(costs, cost)
+		}
+	}
+
+	if !opts.NoSeeds {
+		measureBatch(sp.SeedConfigs())
+	}
+	initRandom := 3 * opts.Walkers
+	if b := opts.Budget / 4; b < initRandom {
+		initRandom = b
+	}
+	initial := make([]conv.Config, 0, initRandom)
+	for i := 0; i < initRandom; i++ {
+		initial = append(initial, sp.Sample(rng))
+	}
+	measureBatch(initial)
+
+	var walkFeat []float64
+	var rankCfgs []conv.Config
+	var rankFeats [][]float64
+	var rankStore, rankPreds []float64
+	var rankedBuf []scoredCfg
+	for rec.trace.Measurements < opts.Budget && !rec.stale(opts.Patience) {
+		model := legacyTrainGBT(DefaultGBTConfig(), feats, costs)
+		pool := make(map[conv.Config]bool)
+		for i := 0; i < opts.Walkers; i++ {
+			start := sp.Sample(rng)
+			if i < len(topK) {
+				start = topK[i].cfg
+			}
+			cur := start
+			walkFeat = sp.FeaturesInto(walkFeat[:0], cur)
+			curCost := model.Predict(walkFeat)
+			for step := 0; step < opts.WalkSteps; step++ {
+				next := sp.Neighbor(cur, rng)
+				walkFeat = sp.FeaturesInto(walkFeat[:0], next)
+				nextCost := model.Predict(walkFeat)
+				if nextCost < curCost || rng.Float64() < 0.1 {
+					cur, curCost = next, nextCost
+				}
+				if !seen[cur] {
+					pool[cur] = true
+				}
+			}
+		}
+		for i := 0; i < 4*opts.BatchSize; i++ {
+			if c := sp.Sample(rng); !seen[c] {
+				pool[c] = true
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		rankCfgs = rankCfgs[:0]
+		rankFeats = rankFeats[:0]
+		rankStore = rankStore[:0]
+		for c := range pool {
+			rankCfgs = append(rankCfgs, c)
+			start := len(rankStore)
+			rankStore = sp.FeaturesInto(rankStore, c)
+			rankFeats = append(rankFeats, rankStore[start:len(rankStore):len(rankStore)])
+		}
+		rankPreds = model.PredictBatch(rankFeats, rankPreds)
+		ranked := rankedBuf[:0]
+		for i, c := range rankCfgs {
+			ranked = append(ranked, scoredCfg{c, rankPreds[i]})
+		}
+		rankedBuf = ranked
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].cost != ranked[j].cost {
+				return ranked[i].cost < ranked[j].cost
+			}
+			return ranked[i].cfg.String() < ranked[j].cfg.String()
+		})
+		batch := make([]conv.Config, 0, opts.BatchSize)
+		for i := 0; i < len(ranked) && i < opts.BatchSize; i++ {
+			batch = append(batch, ranked[i].cfg)
+		}
+		measureBatch(batch)
+	}
+	if !rec.found {
+		return nil, fmt.Errorf("autotune: no valid configuration found in %d measurements", rec.trace.Measurements)
+	}
+	return &rec.trace, nil
+}

@@ -26,9 +26,11 @@ type NetworkLayer struct {
 
 // NetworkOptions controls a TuneNetwork run.
 type NetworkOptions struct {
-	// Tune holds the per-layer engine options (Budget, Seed, Workers, ...).
-	// The same options — and therefore the same deterministic verdict per
-	// shape — apply to every layer.
+	// Tune holds the per-layer engine options (Budget, Seed, Workers,
+	// NoPrune, ...). The same options — and therefore the same
+	// deterministic verdict per shape — apply to every layer; in
+	// particular, bound-guided pruning (on by default) trims each layer's
+	// search independently, against that layer's own bound memo.
 	Tune Options
 	// Workers is how many layers are tuned concurrently (default
 	// GOMAXPROCS). Correctness and output do not depend on it.

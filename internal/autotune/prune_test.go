@@ -1,0 +1,252 @@
+package autotune
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/conv"
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+)
+
+// randomSmallShape draws a random exhaustively-enumerable layer: tiny
+// channel/spatial extents with random kernel, stride, padding and batch.
+func randomSmallShape(rng *rand.Rand) shapes.ConvShape {
+	k := []int{1, 3, 3, 5}[rng.Intn(4)]
+	s := shapes.ConvShape{
+		Batch: 1 + rng.Intn(2),
+		Cin:   2 + rng.Intn(6),
+		Hin:   k + 3 + rng.Intn(8),
+		Cout:  3 + rng.Intn(8),
+		Hker:  k, Wker: k,
+		Strid: 1 + rng.Intn(2),
+		Pad:   rng.Intn(k/2 + 1),
+	}
+	s.Win = s.Hin
+	return s
+}
+
+// boundTestSpaces builds every applicable (kind, space) for a shape.
+func boundTestSpaces(t *testing.T, s shapes.ConvShape, a memsim.Arch) []*Space {
+	t.Helper()
+	var sps []*Space
+	for _, kind := range []Kind{Direct, Winograd} {
+		if kind == Winograd && (!s.WinogradOK() || s.Hker != 3) {
+			continue
+		}
+		sp, err := NewSpace(s, a, kind, 2, false)
+		if err != nil {
+			continue
+		}
+		sps = append(sps, sp)
+	}
+	return sps
+}
+
+// The admissibility of the pruning oracle: BoundSeconds must never exceed
+// the measured time of any configuration that measures successfully —
+// otherwise branch-and-bound could discard an optimum. Checked by full
+// enumeration over randomized small shapes, both dataflows.
+func TestBoundSecondsIsAFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	archs := []memsim.Arch{memsim.V100, memsim.GTX1080Ti, memsim.GFX906}
+	for trial := 0; trial < 8; trial++ {
+		s := randomSmallShape(rng)
+		a := archs[trial%len(archs)]
+		for _, sp := range boundTestSpaces(t, s, a) {
+			mm := NewMemoMeasure(a, s, sp.Kind)
+			checked := 0
+			sp.enumerate(func(c conv.Config) bool {
+				m, ok := mm.Measure(c)
+				if !ok {
+					return true
+				}
+				checked++
+				if lb := sp.BoundSeconds(c); lb > m.Seconds {
+					t.Fatalf("%s %v %s: bound %.6g above measured %.6g for %v",
+						a.Name, s, sp.Kind, lb, m.Seconds, c)
+				}
+				return true
+			})
+			if checked == 0 {
+				t.Fatalf("%s %v %s: no measurable configs", a.Name, s, sp.Kind)
+			}
+		}
+	}
+}
+
+// The branch-and-bound property itself: walking the whole space while
+// skipping every candidate whose bound exceeds the incumbent must end on
+// exactly the brute-force optimum — pruning saves measurements, never
+// quality. Randomized shapes and visit orders.
+func TestPruningNeverDiscardsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	archs := []memsim.Arch{memsim.V100, memsim.TitanX, memsim.GFX906}
+	totalPruned := 0
+	for trial := 0; trial < 10; trial++ {
+		s := randomSmallShape(rng)
+		a := archs[rng.Intn(len(archs))]
+		for _, sp := range boundTestSpaces(t, s, a) {
+			mm := NewMemoMeasure(a, s, sp.Kind)
+			var all []conv.Config
+			sp.enumerate(func(c conv.Config) bool {
+				all = append(all, c)
+				return true
+			})
+			// A randomized visit order exercises pruning against different
+			// incumbent sequences than the enumeration's.
+			rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+
+			var bruteBest, bbBest conv.Config
+			bruteSec, bbSec := math.Inf(1), math.Inf(1)
+			pruned := 0
+			for _, c := range all {
+				if m, ok := mm.Measure(c); ok && m.Seconds < bruteSec {
+					bruteSec, bruteBest = m.Seconds, c
+				}
+			}
+			for _, c := range all {
+				if !math.IsInf(bbSec, 1) && sp.BoundSeconds(c) > bbSec {
+					pruned++
+					continue
+				}
+				if m, ok := mm.Measure(c); ok && m.Seconds < bbSec {
+					bbSec, bbBest = m.Seconds, c
+				}
+			}
+			if math.IsInf(bruteSec, 1) {
+				continue // space with no measurable config
+			}
+			if bbSec != bruteSec || bbBest != bruteBest {
+				t.Fatalf("%s %v %s: branch-and-bound best %v (%.6g) != brute-force best %v (%.6g), pruned=%d",
+					a.Name, s, sp.Kind, bbBest, bbSec, bruteBest, bruteSec, pruned)
+			}
+			totalPruned += pruned
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("pruning never engaged across all trials; the oracle is vacuous")
+	}
+}
+
+// The engine must actually use the filter: on AlexNet conv2 (a layer where
+// the Section-5 seed is strong, so the bound proves most of the space
+// non-improving) a default Tune skips candidates, while NoPrune skips none.
+func TestTunePrunesCandidates(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 96, Hin: 27, Win: 27, Cout: 256, Hker: 5, Wker: 5, Strid: 1, Pad: 2}
+	sp, err := NewSpace(s, arch, Direct, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := DirectMeasurer(arch, s)
+	opts := DefaultOptions()
+	opts.Budget = 96
+	opts.Patience = 32
+	tr, err := Tune(sp, measure, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pruned == 0 {
+		t.Error("default Tune pruned nothing on a layer where the bound bites")
+	}
+	opts.NoPrune = true
+	off, err := Tune(sp, measure, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Pruned != 0 {
+		t.Errorf("NoPrune run still pruned %d candidates", off.Pruned)
+	}
+}
+
+// traceEqual compares every field of two traces, curve included.
+func traceEqual(a, b *Trace) bool {
+	if a.Method != b.Method || a.Best != b.Best || a.BestM != b.BestM ||
+		a.Measurements != b.Measurements || a.ConvergedAt != b.ConvergedAt ||
+		a.Pruned != b.Pruned || len(a.Curve) != len(b.Curve) {
+		return false
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The new engine stays bit-identical across worker counts and repeated
+// runs, with pruning enabled and disabled — including the Pruned counter.
+func TestTuneDeterministicAcrossWorkers(t *testing.T) {
+	sp := mustSpace(t, true)
+	measure := DirectMeasurer(arch, layer())
+	for _, noPrune := range []bool{false, true} {
+		opts := smallOpts(60, 11)
+		opts.NoPrune = noPrune
+		ref, err := Tune(sp, measure, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 9} {
+			o := opts
+			o.Workers = workers
+			tr, err := Tune(sp, measure, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !traceEqual(ref, tr) {
+				t.Errorf("noPrune=%v workers=%d: trace diverges (best %v vs %v, pruned %d vs %d)",
+					noPrune, workers, tr.Best, ref.Best, tr.Pruned, ref.Pruned)
+			}
+		}
+	}
+}
+
+// The bound memo and the cached Size are shared mutable state of a Space;
+// hammer them from many goroutines (run under -race in CI).
+func TestBoundMemoConcurrent(t *testing.T) {
+	sp := mustSpace(t, true)
+	serial := make(map[conv.Config]float64)
+	rng := rand.New(rand.NewSource(7))
+	cfgs := make([]conv.Config, 200)
+	for i := range cfgs {
+		cfgs[i] = sp.Sample(rng)
+		serial[cfgs[i]] = sp.BoundSeconds(cfgs[i])
+	}
+	wantSize := sp.Size()
+
+	fresh := mustSpace(t, true)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, c := range cfgs {
+				if got := fresh.BoundSeconds(c); got != serial[c] {
+					t.Errorf("worker %d cfg %d: concurrent bound %v != serial %v", w, i, got, serial[c])
+					return
+				}
+			}
+			if got := fresh.Size(); got != wantSize {
+				t.Errorf("worker %d: concurrent Size %d != %d", w, got, wantSize)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Size is computed once and stable thereafter.
+func TestSizeCached(t *testing.T) {
+	sp := mustSpace(t, true)
+	a, b := sp.Size(), sp.Size()
+	if a != b || a <= 0 {
+		t.Fatalf("Size unstable or empty: %d then %d", a, b)
+	}
+	// The cache must agree with a fresh enumeration.
+	var n int64
+	sp.enumerate(func(conv.Config) bool { n++; return true })
+	if n != a {
+		t.Fatalf("cached Size %d != enumerated %d", a, n)
+	}
+}

@@ -1,0 +1,127 @@
+package autotune
+
+import "repro/internal/conv"
+
+// This file is the engine's ranking machinery: every iteration the tuner
+// must keep the k best walker proposals (by predicted cost) and the k best
+// measured configurations (by real cost) out of streams much larger than
+// k. Both use bestK — a bounded max-heap whose root is the worst retained
+// item — instead of sorting the whole stream, and every backing array is
+// recycled across iterations, so steady-state ranking allocates nothing.
+
+// scored pairs a configuration with a cost: measured seconds for the
+// incumbent set, a model prediction for proposal ranking.
+type scored struct {
+	cfg  conv.Config
+	cost float64
+}
+
+// configLess is a total order on configurations (axes compared in
+// declaration order). It breaks exact cost ties so rankings never depend
+// on map iteration order or heap layout — with it, selection is a pure
+// function of the candidate set.
+func configLess(a, b conv.Config) bool {
+	switch {
+	case a.TileX != b.TileX:
+		return a.TileX < b.TileX
+	case a.TileY != b.TileY:
+		return a.TileY < b.TileY
+	case a.TileZ != b.TileZ:
+		return a.TileZ < b.TileZ
+	case a.ThreadsX != b.ThreadsX:
+		return a.ThreadsX < b.ThreadsX
+	case a.ThreadsY != b.ThreadsY:
+		return a.ThreadsY < b.ThreadsY
+	case a.ThreadsZ != b.ThreadsZ:
+		return a.ThreadsZ < b.ThreadsZ
+	case a.SharedPerBlock != b.SharedPerBlock:
+		return a.SharedPerBlock < b.SharedPerBlock
+	case a.Layout != b.Layout:
+		return a.Layout < b.Layout
+	case a.WinogradE != b.WinogradE:
+		return a.WinogradE < b.WinogradE
+	}
+	return false
+}
+
+// scoredBefore ranks by cost ascending, ties by config order.
+func scoredBefore(a, b scored) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return configLess(a.cfg, b.cfg)
+}
+
+// bestK retains the k best scored items of a stream. Internally a max-heap
+// on scoredBefore: the root is the worst retained item, so a push either
+// lands in O(log k) or is rejected in O(1) against the root.
+type bestK struct {
+	items []scored
+	k     int
+}
+
+// reset empties the heap and sets its bound, keeping the backing array.
+func (h *bestK) reset(k int) {
+	h.items = h.items[:0]
+	h.k = k
+}
+
+// push offers one item; it is retained iff it is among the k best so far.
+func (h *bestK) push(s scored) {
+	if h.k < 1 {
+		return
+	}
+	if len(h.items) < h.k {
+		h.items = append(h.items, s)
+		i := len(h.items) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !scoredBefore(h.items[p], h.items[i]) {
+				break
+			}
+			h.items[p], h.items[i] = h.items[i], h.items[p]
+			i = p
+		}
+		return
+	}
+	if !scoredBefore(s, h.items[0]) {
+		return
+	}
+	h.items[0] = s
+	h.siftDown(0)
+}
+
+func (h *bestK) siftDown(i int) {
+	n := len(h.items)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && scoredBefore(h.items[worst], h.items[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && scoredBefore(h.items[worst], h.items[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// sorted writes the retained items into dst (recycled) in best-to-worst
+// order and returns it. k is small (a batch or walker count), so an
+// insertion sort beats a general sort and allocates nothing.
+func (h *bestK) sorted(dst []scored) []scored {
+	dst = append(dst[:0], h.items...)
+	for i := 1; i < len(dst); i++ {
+		s := dst[i]
+		j := i - 1
+		for j >= 0 && scoredBefore(s, dst[j]) {
+			dst[j+1] = dst[j]
+			j--
+		}
+		dst[j+1] = s
+	}
+	return dst
+}

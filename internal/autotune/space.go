@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/conv"
 	"repro/internal/memsim"
@@ -67,6 +68,14 @@ type Space struct {
 	zs      []int
 	sbs     []int
 	layouts []tensor.Layout
+
+	// bmemo caches the I/O lower bound per (Sb, e) for the pruning oracle
+	// (bound.go); flopsFloor is the direct dataflow's config-independent
+	// arithmetic. sizeOnce guards the cached admissible-config count.
+	bmemo      boundMemo
+	flopsFloor float64
+	sizeOnce   sync.Once
+	size       int64
 }
 
 // NewSpace builds the space for a layer. For Winograd spaces the spatial
@@ -106,6 +115,7 @@ func NewSpace(s shapes.ConvShape, arch memsim.Arch, kind Kind, e int, pruned boo
 	for sb := arch.MaxSharedPerBlock(); sb >= 256; sb /= 2 {
 		sp.sbs = append(sp.sbs, sb)
 	}
+	sp.flopsFloor = float64(s.Batch) * float64(s.Cin) * 2 * float64(s.Hker*s.Wker) * float64(s.OutputVolume())
 	return sp, nil
 }
 
@@ -144,11 +154,15 @@ func (sp *Space) admissible(c conv.Config) bool {
 	return true
 }
 
-// Size counts the admissible configurations by enumeration.
+// Size counts the admissible configurations. The count is computed by
+// enumeration once and cached — the axes of a Space never change after
+// NewSpace — so repeated calls (per-row reporting, sampling fallbacks) do
+// not re-walk the space. Safe for concurrent use.
 func (sp *Space) Size() int64 {
-	var n int64
-	sp.enumerate(func(conv.Config) bool { n++; return true })
-	return n
+	sp.sizeOnce.Do(func() {
+		sp.enumerate(func(conv.Config) bool { sp.size++; return true })
+	})
+	return sp.size
 }
 
 // enumerate visits every admissible config; the visitor returns false to
@@ -192,19 +206,25 @@ func (sp *Space) Sample(rng *rand.Rand) conv.Config {
 			return c
 		}
 	}
-	// Dense fallback: reservoir-sample the enumeration.
+	// Dense fallback: draw a uniform index into the enumeration. The cached
+	// Size both prices the draw (the walk stops at the drawn index instead
+	// of visiting every config for a reservoir) and powers the diagnostic
+	// when rejection failed because the space is empty.
+	n := sp.Size()
+	if n == 0 {
+		panic(fmt.Sprintf("autotune: empty search space for %v (size=0 after 256 rejected samples)", sp.Shape))
+	}
+	target := rng.Int63n(n)
 	var chosen conv.Config
-	n := 0
+	var i int64
 	sp.enumerate(func(c conv.Config) bool {
-		n++
-		if rng.Intn(n) == 0 {
+		if i == target {
 			chosen = c
+			return false
 		}
+		i++
 		return true
 	})
-	if n == 0 {
-		panic(fmt.Sprintf("autotune: empty search space for %v", sp.Shape))
-	}
 	return chosen
 }
 

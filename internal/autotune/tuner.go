@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/conv"
@@ -59,6 +58,12 @@ type Options struct {
 	// configurations. The TVM-proxy runs use this: an external tuner has no
 	// knowledge of the paper's optimality condition.
 	NoSeeds bool
+	// NoPrune disables bound-guided pruning: with it set, every selected
+	// candidate is measured even when the I/O lower bound already proves it
+	// cannot beat the best measured configuration. The TVM-proxy and
+	// ablation runs use this — an external tuner has no lower-bound oracle
+	// — and it is the switch behind cmd/autotune's -no-prune flag.
+	NoPrune bool
 	// Workers is how many goroutines the measurement executor fans each
 	// batch of candidates across (default 1). The best configuration, the
 	// convergence curve and every other engine output are bit-identical for
@@ -107,6 +112,11 @@ type Trace struct {
 	// ConvergedAt is the measurement index (1-based) of the last
 	// improvement — the paper's "iterations" column in Table 2.
 	ConvergedAt int
+	// Pruned counts the candidates the bound-guided filter discarded
+	// without measuring: their lower-bound-implied time already exceeded
+	// the best measured time. Always 0 with Options.NoPrune (the baseline
+	// searchers are bound-blind and never prune).
+	Pruned int
 }
 
 // record is the shared bookkeeping of all strategies.
@@ -131,12 +141,27 @@ func (r *record) stale(patience int) bool {
 }
 
 // Tune runs the paper's auto-tuning engine (Figure 8): iterate
-// {train cost model on all measurements so far; explore with n_s parallel
-// model-guided random walks from the current best configurations; measure
-// the proposals; update the dataset} until the budget or patience is
-// exhausted. Each batch of proposals is measured by the worker-pool
+// {refit the cost model on all measurements so far; explore with n_s
+// parallel model-guided random walks from the current best configurations;
+// measure the proposals; update the dataset} until the budget or patience
+// is exhausted. Each batch of proposals is measured by the worker-pool
 // executor (opts.Workers goroutines); outcomes are recorded in submission
 // order, so the run is deterministic for a fixed seed at any worker count.
+//
+// Three things keep the engine's own machinery off the critical path:
+//
+//   - Bound-guided pruning (unless opts.NoPrune): before a candidate is
+//     measured, its I/O-lower-bound-implied time (Space.BoundSeconds) is
+//     compared against the best measured time; provably-worse candidates
+//     are skipped and counted in Trace.Pruned. Because the bound is a true
+//     floor on every measurement, pruning can never discard a
+//     configuration that would have improved the verdict.
+//   - Warm-started cost model: the GBT forest is kept across iterations
+//     and refit incrementally (GBTModel.Update) on the grown dataset, with
+//     a full retrain only when the forest would exceed its size cap.
+//   - Heap-based ranking: walker proposals and the best-measured set are
+//     maintained by bounded max-heaps with recycled backing arrays
+//     instead of full sorts.
 func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -149,19 +174,17 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	var featStore []float64
 	var costs []float64
 	seen := make(map[conv.Config]bool)
-	// topK holds the best measured configs (by real cost); they re-seed the
+	// top holds the best measured configs (by real cost); they re-seed the
 	// walkers each iteration — the paper's "promising configurations are
 	// saved as the initial guesses for the next searching step".
-	type scored struct {
-		cfg  conv.Config
-		cost float64
-	}
-	var topK []scored
+	var top bestK
+	top.reset(opts.Walkers)
 
 	// measureBatch dedups the candidates against everything measured so
-	// far, truncates to the remaining budget, fans the survivors across the
-	// executor's workers, and books the outcomes in submission order. The
-	// batch and result buffers are reused across calls.
+	// far, drops the ones the lower bound proves non-improving, truncates
+	// to the remaining budget, fans the survivors across the executor's
+	// workers, and books the outcomes in submission order. The batch and
+	// result buffers are reused across calls.
 	var batchBuf []conv.Config
 	var resultBuf []measured
 	measureBatch := func(cands []conv.Config) {
@@ -171,6 +194,16 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 				break
 			}
 			if seen[c] {
+				continue
+			}
+			// Branch-and-bound: once any configuration has been measured,
+			// a candidate whose bound-implied time exceeds the incumbent
+			// cannot improve it — skip the measurement entirely. The best
+			// only ever decreases, so marking the candidate seen is safe:
+			// it would be pruned again at any later threshold.
+			if !opts.NoPrune && rec.found && sp.BoundSeconds(c) > rec.trace.BestM.Seconds {
+				seen[c] = true
+				rec.trace.Pruned++
 				continue
 			}
 			seen[c] = true
@@ -184,11 +217,7 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 			cost := 20.0 // a large log-cost for failed configs
 			if ok {
 				cost = math.Log(m.Seconds)
-				topK = append(topK, scored{c, m.Seconds})
-				sort.Slice(topK, func(i, j int) bool { return topK[i].cost < topK[j].cost })
-				if len(topK) > opts.Walkers {
-					topK = topK[:opts.Walkers]
-				}
+				top.push(scored{c, m.Seconds})
 			}
 			start := len(featStore)
 			featStore = sp.FeaturesInto(featStore, c)
@@ -213,23 +242,54 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	}
 	measureBatch(initial)
 
+	// The cost model is warm-started: the forest persists across
+	// iterations and each refit boosts UpdateTrees fresh rounds against
+	// the residuals over the grown dataset. Two situations fall back to a
+	// full retrain: tiny datasets (below warmStartRows a full fit is cheap
+	// and early trees overfit the first few measurements, so keeping them
+	// hurts guidance exactly when each measurement matters most) and a
+	// forest at its size cap (prediction cost grows with forest size).
+	gcfg := DefaultGBTConfig()
+	updateRounds := gcfg.UpdateTrees
+	if updateRounds < 1 {
+		updateRounds = 8
+	}
+	maxForest := 4 * gcfg.Trees
+	const warmStartRows = 64
+	var model *GBTModel
+
 	// Scratch reused across iterations: walker feature buffers, the ranking
-	// feature matrix (rows into one backing array) and its predictions.
+	// feature matrix (rows into one backing array), its predictions, and
+	// the bounded heaps' extraction buffers.
 	var walkFeat []float64
 	var rankCfgs []conv.Config
 	var rankFeats [][]float64
 	var rankStore, rankPreds []float64
-	var rankedBuf []scored
+	var rank bestK
+	var startsBuf, pickedBuf []scored
+	var candBuf []conv.Config
 	for rec.trace.Measurements < opts.Budget && !rec.stale(opts.Patience) {
-		model := TrainGBT(DefaultGBTConfig(), feats, costs)
+		if len(feats) == 0 {
+			// Degenerate budgets can reach the loop before any measurement
+			// (no seeds, zero initial randoms); feed the model one sample.
+			measureBatch([]conv.Config{sp.Sample(rng)})
+			continue
+		}
+		if model == nil || len(feats) < warmStartRows || model.NumTrees()+updateRounds > maxForest {
+			model = TrainGBT(gcfg, feats, costs)
+		} else {
+			model.Update(feats, costs, updateRounds)
+		}
 		// Build a candidate pool: every unseen config visited by the n_s
 		// parallel random walks (started from the best measured configs),
 		// plus fresh random samples for diversity.
 		pool := make(map[conv.Config]bool)
+		starts := top.sorted(startsBuf)
+		startsBuf = starts
 		for i := 0; i < opts.Walkers; i++ {
 			start := sp.Sample(rng)
-			if i < len(topK) {
-				start = topK[i].cfg
+			if i < len(starts) {
+				start = starts[i].cfg
 			}
 			cur := start
 			walkFeat = sp.FeaturesInto(walkFeat[:0], cur)
@@ -255,8 +315,9 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 			break // space exhausted
 		}
 		// Rank the pool by predicted cost — one batched prediction over the
-		// candidate slice instead of a model call per config — and measure
-		// the most promising.
+		// candidate slice, then a bounded heap keeps the BatchSize most
+		// promising (exact cost ties fall back to the configLess total
+		// order, so the pick is independent of map iteration order).
 		rankCfgs = rankCfgs[:0]
 		rankFeats = rankFeats[:0]
 		rankStore = rankStore[:0]
@@ -267,22 +328,17 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 			rankFeats = append(rankFeats, rankStore[start:len(rankStore):len(rankStore)])
 		}
 		rankPreds = model.PredictBatch(rankFeats, rankPreds)
-		ranked := rankedBuf[:0]
+		rank.reset(opts.BatchSize)
 		for i, c := range rankCfgs {
-			ranked = append(ranked, scored{c, rankPreds[i]})
+			rank.push(scored{c, rankPreds[i]})
 		}
-		rankedBuf = ranked
-		sort.Slice(ranked, func(i, j int) bool {
-			if ranked[i].cost != ranked[j].cost {
-				return ranked[i].cost < ranked[j].cost
-			}
-			return ranked[i].cfg.String() < ranked[j].cfg.String() // determinism
-		})
-		batch := make([]conv.Config, 0, opts.BatchSize)
-		for i := 0; i < len(ranked) && i < opts.BatchSize; i++ {
-			batch = append(batch, ranked[i].cfg)
+		picked := rank.sorted(pickedBuf)
+		pickedBuf = picked
+		candBuf = candBuf[:0]
+		for _, s := range picked {
+			candBuf = append(candBuf, s.cfg)
 		}
-		measureBatch(batch)
+		measureBatch(candBuf)
 	}
 	if !rec.found {
 		return nil, fmt.Errorf("autotune: no valid configuration found in %d measurements", rec.trace.Measurements)

@@ -73,6 +73,7 @@ func Fig13(opts Options) ([]Fig13Result, *report.Table, error) {
 				topts.Patience = 0
 				topts.Seed = opts.seed()
 				topts.NoSeeds = true // the TVM proxy has no dataflow-design seeds
+				topts.NoPrune = true // ... and no lower-bound oracle
 				tt, err := autotune.Tune(full, autotune.WinogradMeasurer(arch, c.s), topts)
 				if err != nil {
 					return nil, nil, err
@@ -98,6 +99,7 @@ func Fig13(opts Options) ([]Fig13Result, *report.Table, error) {
 				topts.Patience = 0
 				topts.Seed = opts.seed()
 				topts.NoSeeds = true // the TVM proxy has no dataflow-design seeds
+				topts.NoPrune = true // ... and no lower-bound oracle
 				tt, err := autotune.Tune(full, autotune.DirectMeasurer(arch, c.s), topts)
 				if err != nil {
 					return nil, nil, err

@@ -38,10 +38,7 @@ func (b Breakdown) String() string {
 // kernel, identifying the binding constraint — the diagnostic behind "why is
 // this configuration slow".
 func (a Arch) Explain(c Counts, l Launch) Breakdown {
-	if l.Blocks < 1 || l.ThreadsPerBlock < 1 {
-		return Breakdown{Total: math.Inf(1), Bound: Invalid}
-	}
-	resident := a.ResidentBlocks(l.SharedPerBlock, l.ThreadsPerBlock)
+	sched, resident := a.ScheduleCost(l)
 	if resident == 0 {
 		return Breakdown{Total: math.Inf(1), Bound: Invalid}
 	}
@@ -69,8 +66,7 @@ func (a Arch) Explain(c Counts, l Launch) Breakdown {
 	} else {
 		b.Compute = math.Inf(1)
 	}
-	waves := (l.Blocks + resident - 1) / resident
-	b.Overhead = a.LaunchOverhead + float64(waves)*a.WaveLatency
+	b.Overhead = sched
 	b.Total = b.Overhead + math.Max(b.Global, math.Max(b.Shared, b.Compute))
 
 	b.Bound = ComputeBound

@@ -18,6 +18,26 @@ type Launch struct {
 	BandwidthEff float64
 }
 
+// ScheduleCost returns the unconditional launch-plus-waves term of the
+// time model — LaunchOverhead + ceil(Blocks/resident)·WaveLatency — and
+// the resident block count it derives from. resident is 0 when the block
+// does not fit an SM at all (Time is +Inf there); seconds is 0 in that
+// case. Every consumer of this scheduling floor — Time itself, the
+// Explain breakdown, and the tuner's lower-bound pruning oracle (which is
+// only sound while its floor never exceeds Time) — shares this one
+// definition.
+func (a Arch) ScheduleCost(l Launch) (seconds float64, resident int) {
+	if l.Blocks < 1 || l.ThreadsPerBlock < 1 {
+		return 0, 0
+	}
+	resident = a.ResidentBlocks(l.SharedPerBlock, l.ThreadsPerBlock)
+	if resident == 0 {
+		return 0, 0
+	}
+	waves := (l.Blocks + resident - 1) / resident
+	return a.LaunchOverhead + float64(waves)*a.WaveLatency, resident
+}
+
 // Time converts measured counts plus a launch configuration into a
 // deterministic simulated runtime in seconds:
 //
@@ -30,12 +50,9 @@ type Launch struct {
 // purpose is to make data movement and occupancy — the two quantities the
 // paper tunes — determine performance.
 func (a Arch) Time(c Counts, l Launch) float64 {
-	if l.Blocks < 1 || l.ThreadsPerBlock < 1 {
-		return math.Inf(1)
-	}
-	resident := a.ResidentBlocks(l.SharedPerBlock, l.ThreadsPerBlock)
+	sched, resident := a.ScheduleCost(l)
 	if resident == 0 {
-		return math.Inf(1) // block does not fit on an SM
+		return math.Inf(1) // empty launch, or block does not fit on an SM
 	}
 	concurrent := min(l.Blocks, resident)
 
@@ -65,9 +82,7 @@ func (a Arch) Time(c Counts, l Launch) float64 {
 		(a.SharedBandwidthGBs * 1e9 * regReuse * math.Max(hide, 0.25))
 	tCompute := float64(c.Flops) / (a.PeakGFLOPS * 1e9 * hide)
 
-	waves := (l.Blocks + resident - 1) / resident
-	return a.LaunchOverhead + float64(waves)*a.WaveLatency +
-		math.Max(tGlobal, math.Max(tShared, tCompute))
+	return sched + math.Max(tGlobal, math.Max(tShared, tCompute))
 }
 
 // GFLOPS returns the attained arithmetic rate of a measured kernel under the

@@ -209,6 +209,15 @@ type TuneOptions struct {
 	// MeasureLatency emulates the per-measurement hardware round-trip that
 	// real auto-tuners overlap with a parallel measurement executor.
 	MeasureLatency time.Duration
+	// NoPrune disables the engine's bound-guided pruning: by default a
+	// candidate whose I/O-lower-bound-implied time already exceeds the best
+	// measured time is skipped without being measured (the skip count comes
+	// back in TuneTrace.Pruned). The bound is a true floor on every
+	// measurement, so pruning never discards a candidate that could have
+	// improved the incumbent — skipped measurements are pure savings,
+	// though the freed budget may steer a budget-limited search along a
+	// different (typically better) trajectory than a NoPrune run.
+	NoPrune bool
 }
 
 func (o TuneOptions) lower() autotune.Options {
@@ -223,6 +232,7 @@ func (o TuneOptions) lower() autotune.Options {
 		opts.Workers = o.Workers
 	}
 	opts.MeasureLatency = o.MeasureLatency
+	opts.NoPrune = o.NoPrune
 	return opts
 }
 
@@ -263,12 +273,13 @@ func NewTuningCache() *TuningCache { return autotune.NewCache() }
 
 // NetworkTuneOptions controls a network-level tuning run.
 type NetworkTuneOptions struct {
-	// Budget, Seed, Workers and MeasureLatency are the per-layer engine
-	// options (see TuneOptions).
+	// Budget, Seed, Workers, MeasureLatency and NoPrune are the per-layer
+	// engine options (see TuneOptions).
 	Budget         int
 	Seed           int64
 	Workers        int
 	MeasureLatency time.Duration
+	NoPrune        bool
 	// LayerWorkers is how many layers tune concurrently (default
 	// GOMAXPROCS); verdicts do not depend on it.
 	LayerWorkers int
@@ -282,7 +293,7 @@ type NetworkTuneOptions struct {
 // cache may be nil for a throwaway run. Verdicts come back in layer order
 // and are deterministic for a fixed seed at any worker count.
 func TuneNetwork(arch Arch, layers []NetworkLayer, cache *TuningCache, o NetworkTuneOptions) ([]LayerVerdict, error) {
-	per := TuneOptions{Budget: o.Budget, Seed: o.Seed, Workers: o.Workers, MeasureLatency: o.MeasureLatency}
+	per := TuneOptions{Budget: o.Budget, Seed: o.Seed, Workers: o.Workers, MeasureLatency: o.MeasureLatency, NoPrune: o.NoPrune}
 	return autotune.TuneNetwork(arch, layers, cache, autotune.NetworkOptions{
 		Tune:     per.lower(),
 		Workers:  o.LayerWorkers,
