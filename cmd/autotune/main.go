@@ -7,6 +7,8 @@
 //	autotune -algo winograd -cin 256 -hw 13 -cout 384 -k 3 -pad 1
 //	autotune -workers 8 -measure-latency 500us -cin 96 -hw 27 -cout 256 -k 5 -pad 2
 //	autotune -no-prune -cin 96 -hw 27 -cout 256 -k 5 -pad 2   # disable bound-guided pruning
+//	autotune -cache tune.json -budget 300 ...                 # persist verdict + engine state
+//	autotune -cache tune.json -budget 600 -resume ...         # continue the cached search, nothing re-measured
 package main
 
 import (
@@ -33,9 +35,15 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel measurement workers (result is identical for any count)")
 	latency := flag.Duration("measure-latency", 0, "emulated per-measurement hardware round-trip (e.g. 500us)")
 	noPrune := flag.Bool("no-prune", false, "disable bound-guided pruning (measure every selected candidate)")
+	minDelta := flag.Float64("min-delta", 0, "relative improvement below which patience is not reset (0 = any improvement resets)")
 	emit := flag.Bool("emit", false, "print the kernel schedule of the winning configuration")
 	cachePath := flag.String("cache", "", "tuning-cache JSON file (read if present, updated on exit)")
+	resume := flag.Bool("resume", false, "with -cache: continue a cached search at the current -budget; the persisted history replays and no measurement repeats")
 	flag.Parse()
+	if *resume && *cachePath == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -cache")
+		os.Exit(2)
+	}
 
 	s, err := repro.NewShape(*batch, *cin, *hw, *cout, *k, *stride, *pad)
 	if err != nil {
@@ -63,7 +71,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if cfg, m, ok := cache.Get(arch.Name, kind, s); ok {
+	if cfg, m, ok := cache.Get(arch.Name, kind, s); ok && !*resume {
 		fmt.Printf("cache hit: %v\nsimulated: %.3gs (%.0f GFLOP/s)\n", cfg, m.Seconds, m.GFLOPS)
 		if *emit {
 			fmt.Println()
@@ -72,13 +80,38 @@ func main() {
 		return
 	}
 
-	opts := repro.TuneOptions{Budget: *budget, Seed: *seed, Workers: *workers, MeasureLatency: *latency, NoPrune: *noPrune}
+	opts := repro.TuneOptions{Budget: *budget, Seed: *seed, Workers: *workers,
+		MeasureLatency: *latency, NoPrune: *noPrune, MinDelta: *minDelta}
 	var trace *repro.TuneTrace
-	switch kind {
-	case autotune.Direct:
-		trace, err = repro.TuneDirect(arch, s, opts)
-	case autotune.Winograd:
-		trace, err = repro.TuneWinograd(arch, s, opts)
+	replayed := 0
+	if *resume {
+		// Continue the cached search: its persisted measurement history
+		// replays into the engine and only the remaining budget measures.
+		replayed = cache.StateSize(arch.Name, kind, s)
+		if replayed == 0 {
+			if cfg, m, ok := cache.Get(arch.Name, kind, s); ok {
+				fmt.Printf("cache hit (entry carries no persisted search state; nothing to resume): %v\nsimulated: %.3gs (%.0f GFLOP/s)\n",
+					cfg, m.Seconds, m.GFLOPS)
+				if *emit {
+					fmt.Println()
+					fmt.Print(autotune.EmitSchedule(kind, s, cfg))
+				}
+				return
+			}
+		}
+		switch kind {
+		case autotune.Direct:
+			trace, err = repro.ResumeDirect(arch, s, cache, opts)
+		case autotune.Winograd:
+			trace, err = repro.ResumeWinograd(arch, s, cache, opts)
+		}
+	} else {
+		switch kind {
+		case autotune.Direct:
+			trace, err = repro.TuneDirect(arch, s, opts)
+		case autotune.Winograd:
+			trace, err = repro.TuneWinograd(arch, s, opts)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -89,6 +122,10 @@ func main() {
 	fmt.Printf("arch:        %s\n", arch.Name)
 	fmt.Printf("measurements %d (%d candidates pruned by the I/O lower bound), best found at #%d\n",
 		trace.Measurements, trace.Pruned, trace.ConvergedAt)
+	if replayed > 0 {
+		fmt.Printf("resumed:     %d measurements replayed from cache, %d fresh\n",
+			replayed, trace.Measurements-replayed)
+	}
 	fmt.Printf("best config: %v\n", trace.Best)
 	fmt.Printf("simulated:   %.3gs (%.0f GFLOP/s)\n", trace.BestM.Seconds, trace.BestM.GFLOPS)
 
@@ -123,7 +160,10 @@ func main() {
 		fmt.Print(autotune.EmitSchedule(kind, s, trace.Best))
 	}
 	if *cachePath != "" {
-		cache.Put(arch.Name, kind, s, trace.Best, trace.BestM)
+		// PutTrace persists the engine state (measurement history + curve)
+		// alongside the verdict, so a later -resume at a higher budget
+		// continues this search instead of restarting it.
+		cache.PutTrace(arch.Name, kind, s, trace)
 		if err := cache.SaveFile(*cachePath); err != nil {
 			fmt.Fprintf(os.Stderr, "cache save: %v\n", err)
 			os.Exit(1)

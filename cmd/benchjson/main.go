@@ -34,10 +34,12 @@ type row struct {
 }
 
 // defaultBench selects the hot-path benchmarks: the dry-measurement unit of
-// work, the wet kernels, the conv-shaped GEMM, the network-level sweep, and
-// the search-engine overhead pair (the bound-guided loop vs its pre-rework
-// baseline, and the incremental vs from-scratch cost-model refit).
-const defaultBench = "BenchmarkMeasureDry|BenchmarkDirectTiledWet|BenchmarkWinogradFusedWet|BenchmarkTuneNetwork|BenchmarkBlockedConvShape|BenchmarkTuneEngine|BenchmarkTrainGBTIncremental"
+// work, the wet kernels, the conv-shaped GEMM, the network-level sweeps
+// (cold, and warm-started via the cross-layer transfer pool), the
+// resumed-search path, the allocation-free cache key, and the search-engine
+// overhead pair (the bound-guided loop vs its pre-rework baseline, and the
+// incremental vs from-scratch cost-model refit).
+const defaultBench = "BenchmarkMeasureDry|BenchmarkDirectTiledWet|BenchmarkWinogradFusedWet|BenchmarkTuneNetwork|BenchmarkTuneNetworkWarm|BenchmarkTuneResume|BenchmarkCacheKey|BenchmarkBlockedConvShape|BenchmarkTuneEngine|BenchmarkTrainGBTIncremental"
 
 // parseLine parses one `go test -bench` result line, e.g.
 //

@@ -33,10 +33,14 @@ func main() {
 	for i, l := range model.Layers {
 		layers[i] = repro.NetworkLayer{Name: l.Name, Shape: l.EffectiveShape(), Repeat: l.Repeat}
 	}
+	// Warm enables cross-layer transfer: MobileNet's stages repeat the same
+	// geometry at shrinking resolution, exactly the case where later layers
+	// profit from the rows and incumbents of earlier ones.
 	verdicts, err := repro.TuneNetwork(arch, layers, repro.NewTuningCache(), repro.NetworkTuneOptions{
 		Budget:       48,
 		Seed:         1,
 		LayerWorkers: 4,
+		Warm:         true,
 	})
 	if err != nil {
 		log.Fatal(err)

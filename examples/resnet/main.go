@@ -29,11 +29,16 @@ func main() {
 	for i, l := range model.Layers {
 		layers[i] = repro.NetworkLayer{Name: l.Name, Shape: l.Shape, Repeat: l.Repeat}
 	}
+	// Warm turns on cross-layer warm-starting: one representative search
+	// per algorithm runs cold, every other layer starts from the transfer
+	// pool's fitted cost model and incumbents — the ResNet stages repeat
+	// the same 3×3 geometry, so most searches converge almost immediately.
 	verdicts, err := repro.TuneNetwork(arch, layers, repro.NewTuningCache(), repro.NetworkTuneOptions{
 		Budget:       64,
 		Seed:         1,
 		LayerWorkers: 4,
 		Winograd:     true,
+		Warm:         true,
 	})
 	if err != nil {
 		log.Fatal(err)

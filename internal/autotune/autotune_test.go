@@ -242,6 +242,35 @@ func TestTuneDeterministic(t *testing.T) {
 	}
 }
 
+// MinDelta semantics: a sub-threshold improvement still updates the best
+// but does not reset patience; a significant one resets it. MinDelta 0 is
+// the strict behavior.
+func TestMinDeltaPatience(t *testing.T) {
+	cfg := func(x int) conv.Config { return conv.Config{TileX: x} }
+	m := func(s float64) Measurement { return Measurement{Seconds: s} }
+
+	strict := &record{}
+	strict.add(cfg(1), m(1.0), true)
+	strict.add(cfg(2), m(0.999), true) // 0.1% improvement
+	if strict.stale(1) {
+		t.Error("strict record stale immediately after an improvement")
+	}
+
+	md := &record{minDelta: 0.01}
+	md.add(cfg(1), m(1.0), true)
+	md.add(cfg(2), m(0.999), true)
+	if md.trace.Best != cfg(2) || md.trace.BestM != m(0.999) {
+		t.Error("sub-delta improvement must still update the best")
+	}
+	if !md.stale(1) {
+		t.Error("sub-delta improvement reset patience despite minDelta")
+	}
+	md.add(cfg(3), m(0.9), true) // 10% improvement
+	if md.stale(1) {
+		t.Error("significant improvement did not reset patience")
+	}
+}
+
 func TestPatienceStopsEarly(t *testing.T) {
 	sp := mustSpace(t, true)
 	measure := DirectMeasurer(arch, layer())

@@ -1,11 +1,13 @@
 package autotune
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/conv"
@@ -21,6 +23,12 @@ import (
 // in-flight table deduplicates concurrent tuning of identical keys: when
 // two goroutines ask for the same (arch, algorithm, shape) at once, one
 // runs the search and the other waits for its verdict.
+//
+// Beyond the verdict, an entry can carry the search's engine state — the
+// full measurement history and convergence curve (PutTrace). A state-
+// carrying entry lets a later run resume the search at a higher budget
+// without repeating a single measurement (TuneResumed), and lets
+// TuneNetwork rebuild its cross-layer transfer pool from a loaded file.
 type Cache struct {
 	shards [cacheShards]cacheShard
 
@@ -29,6 +37,12 @@ type Cache struct {
 }
 
 const cacheShards = 32
+
+// cacheFormatVersion is the on-disk format written by Save. Version 1 was
+// a bare JSON array of verdict-only entries; version 2 wraps the entries
+// in a versioned envelope and optionally carries per-entry engine state
+// (rows + curve). Load accepts both; unknown future versions are rejected.
+const cacheFormatVersion = 2
 
 type cacheShard struct {
 	mu      sync.RWMutex
@@ -40,17 +54,42 @@ type flightCall struct {
 	done chan struct{}
 	cfg  conv.Config
 	m    Measurement
+	hist []MeasuredConfig
 	err  error
 }
 
-// CacheEntry is one persisted tuning outcome.
+// CacheEntry is one persisted tuning outcome. Rows and Curve are the
+// optional engine state: the measurement stream in submission order and
+// the best-so-far curve, exactly Trace.History / Trace.Curve.
 type CacheEntry struct {
-	Arch    string       `json:"arch"`
-	Kind    string       `json:"kind"`
-	Shape   cachedShape  `json:"shape"`
+	Arch    string              `json:"arch"`
+	Kind    string              `json:"kind"`
+	Shape   cachedShape         `json:"shape"`
+	Config  cachedConfig        `json:"config"`
+	Seconds float64             `json:"seconds"`
+	GFLOPS  float64             `json:"gflops"`
+	Rows    []CachedMeasurement `json:"rows,omitempty"`
+	Curve   []float64           `json:"curve,omitempty"`
+	// Budget is the measurement budget the persisted search ran with; it
+	// may exceed len(Rows) when the search stopped early on patience. A
+	// resume request is covered — nothing to continue — unless it asks for
+	// more than this. 0 on entries from older files (resume then falls
+	// back to comparing against len(Rows)).
+	Budget int `json:"budget,omitempty"`
+}
+
+// CachedMeasurement is one persisted measurement record of a search.
+type CachedMeasurement struct {
 	Config  cachedConfig `json:"config"`
 	Seconds float64      `json:"seconds"`
 	GFLOPS  float64      `json:"gflops"`
+	OK      bool         `json:"ok"`
+}
+
+// cacheFile is the version-2 on-disk envelope.
+type cacheFile struct {
+	Version int          `json:"version"`
+	Entries []CacheEntry `json:"entries"`
 }
 
 // cachedShape / cachedConfig mirror the internal structs with stable JSON
@@ -67,6 +106,60 @@ type cachedConfig struct {
 	WinogradE                    int
 }
 
+func shapeToCached(s shapes.ConvShape) cachedShape {
+	return cachedShape{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad}
+}
+
+func (cs cachedShape) shape() shapes.ConvShape {
+	return shapes.ConvShape{
+		Batch: cs.Batch, Cin: cs.Cin, Hin: cs.Hin, Win: cs.Win,
+		Cout: cs.Cout, Hker: cs.Hker, Wker: cs.Wker,
+		Strid: cs.Stride, Pad: cs.Pad,
+	}
+}
+
+func configToCached(c conv.Config) cachedConfig {
+	return cachedConfig{c.TileX, c.TileY, c.TileZ,
+		c.ThreadsX, c.ThreadsY, c.ThreadsZ,
+		c.SharedPerBlock, int(c.Layout), c.WinogradE}
+}
+
+func (cc cachedConfig) config() conv.Config {
+	return conv.Config{
+		TileX: cc.TileX, TileY: cc.TileY, TileZ: cc.TileZ,
+		ThreadsX: cc.ThreadsX, ThreadsY: cc.ThreadsY, ThreadsZ: cc.ThreadsZ,
+		SharedPerBlock: cc.SharedPerBlock,
+		Layout:         tensor.Layout(cc.Layout),
+		WinogradE:      cc.WinogradE,
+	}
+}
+
+// history decodes an entry's persisted rows into the engine's record type.
+func (e CacheEntry) history() []MeasuredConfig {
+	if len(e.Rows) == 0 {
+		return nil
+	}
+	hist := make([]MeasuredConfig, len(e.Rows))
+	for i, r := range e.Rows {
+		hist[i] = MeasuredConfig{Config: r.Config.config(),
+			M: Measurement{Seconds: r.Seconds, GFLOPS: r.GFLOPS}, OK: r.OK}
+	}
+	return hist
+}
+
+// kindFromString parses a persisted algorithm name, rejecting anything
+// unrecognized: a corrupt or future-format cache file must fail loudly
+// instead of silently poisoning verdicts as Direct.
+func kindFromString(s string) (Kind, error) {
+	switch s {
+	case Direct.String():
+		return Direct, nil
+	case Winograd.String():
+		return Winograd, nil
+	}
+	return Direct, fmt.Errorf("autotune: unknown cache kind %q", s)
+}
+
 // NewCache returns an empty cache.
 func NewCache() *Cache {
 	c := &Cache{flight: make(map[string]*flightCall)}
@@ -76,19 +169,48 @@ func NewCache() *Cache {
 	return c
 }
 
-func cacheKey(archName string, kind Kind, s shapes.ConvShape) string {
-	return fmt.Sprintf("%s|%s|%d,%d,%d,%d,%d,%d,%d,%d,%d", archName, kind,
-		s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad)
+// cacheKeyBuf comfortably holds any key: an arch name, a kind name and
+// nine small integers.
+const cacheKeyBuf = 96
+
+// appendCacheKey builds the cache key of (arch, kind, shape) into dst with
+// strconv appends — no fmt, no intermediate allocations. It is the hot
+// half of every cache lookup and in-flight check: callers on the lookup
+// path keep the bytes on the stack and index the shard maps with
+// string(key) directly, which Go compiles to an allocation-free lookup.
+func appendCacheKey(dst []byte, archName string, kind Kind, s shapes.ConvShape) []byte {
+	dst = append(dst, archName...)
+	dst = append(dst, '|')
+	dst = append(dst, kind.String()...)
+	for _, v := range [...]int{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad} {
+		dst = append(dst, '|')
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return dst
 }
 
-// shardFor picks the shard of a key (FNV-1a).
-func (c *Cache) shardFor(key string) *cacheShard {
+// cacheKey is appendCacheKey as a string, for the cold paths (stores,
+// flight-table inserts) that need a retained key.
+func cacheKey(archName string, kind Kind, s shapes.ConvShape) string {
+	var kb [cacheKeyBuf]byte
+	return string(appendCacheKey(kb[:0], archName, kind, s))
+}
+
+// shardIndex picks the shard of a key (FNV-1a). Generic over the key
+// representation so the byte-slice lookup path and the string store path
+// share one implementation — they must address the same shard for the
+// same key bytes.
+func shardIndex[K string | []byte](key K) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619
 	}
-	return &c.shards[h%cacheShards]
+	return h % cacheShards
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	return &c.shards[shardIndex(key)]
 }
 
 func (c *Cache) put(key string, e CacheEntry) {
@@ -98,36 +220,108 @@ func (c *Cache) put(key string, e CacheEntry) {
 	sh.mu.Unlock()
 }
 
-// Put stores a tuning outcome.
+// getEntry is the allocation-free raw lookup behind Get and State.
+func (c *Cache) getEntry(archName string, kind Kind, s shapes.ConvShape) (CacheEntry, bool) {
+	var kb [cacheKeyBuf]byte
+	key := appendCacheKey(kb[:0], archName, kind, s)
+	sh := &c.shards[shardIndex(key)]
+	sh.mu.RLock()
+	e, ok := sh.entries[string(key)]
+	sh.mu.RUnlock()
+	return e, ok
+}
+
+// Put stores a verdict-only tuning outcome.
 func (c *Cache) Put(archName string, kind Kind, s shapes.ConvShape, cfg conv.Config, m Measurement) {
 	c.put(cacheKey(archName, kind, s), CacheEntry{
 		Arch: archName, Kind: kind.String(),
-		Shape: cachedShape{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad},
-		Config: cachedConfig{cfg.TileX, cfg.TileY, cfg.TileZ,
-			cfg.ThreadsX, cfg.ThreadsY, cfg.ThreadsZ,
-			cfg.SharedPerBlock, int(cfg.Layout), cfg.WinogradE},
+		Shape:   shapeToCached(s),
+		Config:  configToCached(cfg),
 		Seconds: m.Seconds, GFLOPS: m.GFLOPS,
 	})
 }
 
-// Get retrieves a cached outcome, if any.
+// PutTrace stores a tuning outcome together with its engine state: the
+// full measurement history and convergence curve. A state-carrying entry
+// can be resumed at a higher budget (TuneResumed) and contributes to
+// TuneNetwork's transfer pool when the cache is reloaded.
+func (c *Cache) PutTrace(archName string, kind Kind, s shapes.ConvShape, tr *Trace) {
+	e := CacheEntry{
+		Arch: archName, Kind: kind.String(),
+		Shape:   shapeToCached(s),
+		Config:  configToCached(tr.Best),
+		Seconds: tr.BestM.Seconds, GFLOPS: tr.BestM.GFLOPS,
+		Curve:  append([]float64(nil), tr.Curve...),
+		Budget: tr.Budget,
+	}
+	if e.Budget < len(tr.History) {
+		e.Budget = len(tr.History)
+	}
+	if len(tr.History) > 0 {
+		e.Rows = make([]CachedMeasurement, len(tr.History))
+		for i, h := range tr.History {
+			e.Rows[i] = CachedMeasurement{Config: configToCached(h.Config),
+				Seconds: h.M.Seconds, GFLOPS: h.M.GFLOPS, OK: h.OK}
+		}
+	}
+	c.put(cacheKey(archName, kind, s), e)
+}
+
+// Get retrieves a cached outcome, if any. The lookup allocates nothing.
 func (c *Cache) Get(archName string, kind Kind, s shapes.ConvShape) (conv.Config, Measurement, bool) {
-	key := cacheKey(archName, kind, s)
-	sh := c.shardFor(key)
-	sh.mu.RLock()
-	e, ok := sh.entries[key]
-	sh.mu.RUnlock()
+	e, ok := c.getEntry(archName, kind, s)
 	if !ok {
 		return conv.Config{}, Measurement{}, false
 	}
-	cfg := conv.Config{
-		TileX: e.Config.TileX, TileY: e.Config.TileY, TileZ: e.Config.TileZ,
-		ThreadsX: e.Config.ThreadsX, ThreadsY: e.Config.ThreadsY, ThreadsZ: e.Config.ThreadsZ,
-		SharedPerBlock: e.Config.SharedPerBlock,
-		Layout:         tensor.Layout(e.Config.Layout),
-		WinogradE:      e.Config.WinogradE,
+	return e.Config.config(), Measurement{Seconds: e.Seconds, GFLOPS: e.GFLOPS}, true
+}
+
+// State retrieves a cached entry's persisted engine state: the measurement
+// history and convergence curve. ok is false when the key is absent or the
+// entry is verdict-only.
+func (c *Cache) State(archName string, kind Kind, s shapes.ConvShape) ([]MeasuredConfig, []float64, bool) {
+	e, ok := c.getEntry(archName, kind, s)
+	if !ok || len(e.Rows) == 0 {
+		return nil, nil, false
 	}
-	return cfg, Measurement{Seconds: e.Seconds, GFLOPS: e.GFLOPS}, true
+	return e.history(), append([]float64(nil), e.Curve...), true
+}
+
+// stateEntries returns every state-carrying entry of one architecture in
+// deterministic (key-sorted) order — the raw material for rebuilding a
+// cross-layer transfer pool from a loaded cache file.
+func (c *Cache) stateEntries(archName string) []CacheEntry {
+	type keyed struct {
+		key string
+		e   CacheEntry
+	}
+	var all []keyed
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.entries {
+			if e.Arch == archName && len(e.Rows) > 0 {
+				all = append(all, keyed{k, e})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	out := make([]CacheEntry, len(all))
+	for i, ke := range all {
+		out[i] = ke.e
+	}
+	return out
+}
+
+// StateSize reports how many measurements are persisted for a key,
+// without decoding them (0 when the key is absent or verdict-only).
+func (c *Cache) StateSize(archName string, kind Kind, s shapes.ConvShape) int {
+	e, ok := c.getEntry(archName, kind, s)
+	if !ok {
+		return 0
+	}
+	return len(e.Rows)
 }
 
 // Len reports the number of cached entries.
@@ -156,7 +350,8 @@ func (c *Cache) snapshot() map[string]CacheEntry {
 	return all
 }
 
-// Save writes the cache as deterministic (key-sorted) JSON.
+// Save writes the cache as deterministic (key-sorted) JSON in the current
+// (version 2) envelope, engine state included where present.
 func (c *Cache) Save(w io.Writer) error {
 	all := c.snapshot()
 	keys := make([]string, 0, len(all))
@@ -170,29 +365,59 @@ func (c *Cache) Save(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(ordered)
+	return enc.Encode(cacheFile{Version: cacheFormatVersion, Entries: ordered})
 }
 
-// Load merges entries from JSON previously written by Save.
+// Load merges entries from JSON previously written by Save. Both formats
+// load: the version-2 envelope and the original bare-array files, which
+// carry no engine state. Entries with an invalid shape or an unrecognized
+// algorithm kind are rejected with an error — a corrupt or future-format
+// file must not silently poison verdicts.
 func (c *Cache) Load(r io.Reader) error {
-	var entries []CacheEntry
-	if err := json.NewDecoder(r).Decode(&entries); err != nil {
-		return fmt.Errorf("autotune: cache decode: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("autotune: cache read: %w", err)
 	}
-	for _, e := range entries {
-		s := shapes.ConvShape{
-			Batch: e.Shape.Batch, Cin: e.Shape.Cin, Hin: e.Shape.Hin, Win: e.Shape.Win,
-			Cout: e.Shape.Cout, Hker: e.Shape.Hker, Wker: e.Shape.Wker,
-			Strid: e.Shape.Stride, Pad: e.Shape.Pad,
+	var entries []CacheEntry
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '[' {
+		// Version 1: a bare array of verdict-only entries.
+		if err := json.Unmarshal(trimmed, &entries); err != nil {
+			return fmt.Errorf("autotune: cache decode: %w", err)
 		}
+	} else {
+		var f cacheFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("autotune: cache decode: %w", err)
+		}
+		if f.Version != cacheFormatVersion {
+			return fmt.Errorf("autotune: unsupported cache format version %d (want %d)", f.Version, cacheFormatVersion)
+		}
+		entries = f.Entries
+	}
+	// Validate every entry before committing any: a file rejected with an
+	// error must leave the cache untouched, not partially populated.
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		s := e.Shape.shape()
 		if err := s.Validate(); err != nil {
 			return fmt.Errorf("autotune: cache entry for %s: %w", e.Arch, err)
 		}
-		kind := Direct
-		if e.Kind == Winograd.String() {
-			kind = Winograd
+		kind, err := kindFromString(e.Kind)
+		if err != nil {
+			return fmt.Errorf("autotune: cache entry for %s %v: %w", e.Arch, s, err)
 		}
-		c.put(cacheKey(e.Arch, kind, s), e)
+		// Persisted rows feed resumed incumbents and warm-pool log-costs; a
+		// successful row with a non-positive time would poison both (a zero
+		// incumbent prunes everything, log(0) is -Inf), so reject it here.
+		for j, r := range e.Rows {
+			if r.OK && !(r.Seconds > 0) {
+				return fmt.Errorf("autotune: cache entry for %s %v: row %d: non-positive seconds %v on a successful measurement", e.Arch, s, j, r.Seconds)
+			}
+		}
+		keys[i] = cacheKey(e.Arch, kind, s)
+	}
+	for i, e := range entries {
+		c.put(keys[i], e)
 	}
 	return nil
 }
@@ -218,46 +443,152 @@ func (c *Cache) LoadFile(path string) error {
 }
 
 // TuneCached returns the cached best for (arch, kind, shape) or runs the
-// engine and caches its verdict. Concurrent callers with the same key share
-// one search.
+// engine and caches its verdict (with engine state, so the search can be
+// resumed or transferred from later). Concurrent callers with the same key
+// share one search.
 func TuneCached(cache *Cache, sp *Space, measure Measurer, opts Options) (conv.Config, Measurement, error) {
-	cfg, m, _, err := tuneShared(cache, sp, measure, opts)
+	cfg, m, _, _, err := tuneShared(cache, sp, measure, opts, false)
 	return cfg, m, err
 }
 
-// tuneShared is TuneCached plus a report of whether the verdict was shared:
-// satisfied from the cache, or joined onto another goroutine's in-flight
-// search of the same key instead of running its own.
-func tuneShared(cache *Cache, sp *Space, measure Measurer, opts Options) (conv.Config, Measurement, bool, error) {
-	key := cacheKey(sp.Arch.Name, sp.Kind, sp.Shape)
-	if cfg, m, ok := cache.Get(sp.Arch.Name, sp.Kind, sp.Shape); ok {
-		return cfg, m, true, nil
+// TuneResumed continues a cached search at a higher budget: the persisted
+// measurement history replays into a fresh engine run — zero measurements
+// are repeated — and the grown state is written back. A covered request
+// returns the cached outcome as a synthesized trace without any
+// measuring: the persisted search already ran with at least opts.Budget
+// (even if patience retired it below that, re-running would only re-prove
+// staleness), or the entry is verdict-only with nothing to continue from.
+// Concurrent TuneResumed calls for one key are not flight-deduplicated
+// (the single-caller CLI seam); racing writers last-write-win and a later
+// resume of an overwritten entry simply re-enters.
+func TuneResumed(cache *Cache, sp *Space, measure Measurer, opts Options) (*Trace, error) {
+	opts = opts.normalized()
+	if e, ok := cache.getEntry(sp.Arch.Name, sp.Kind, sp.Shape); ok {
+		hist, covered := resumeCoverage(e, opts.Budget)
+		if covered {
+			tr := &Trace{Method: "ate", Best: e.Config.config(),
+				BestM:        Measurement{Seconds: e.Seconds, GFLOPS: e.GFLOPS},
+				Curve:        append([]float64(nil), e.Curve...),
+				Measurements: len(e.Rows), History: e.history(), Budget: e.Budget}
+			tr.ConvergedAt = convergedAt(tr.Curve)
+			return tr, nil
+		}
+		opts = withHistory(opts, hist)
 	}
+	tr, err := Tune(sp, measure, opts)
+	if err != nil {
+		return nil, err
+	}
+	cache.PutTrace(sp.Arch.Name, sp.Kind, sp.Shape, tr)
+	return tr, nil
+}
+
+// resumeCoverage is the single resume-coverage predicate (shared by
+// TuneResumed and tuneShared so the CLI and network paths cannot drift):
+// a cached entry covers a resume request at budget when the persisted
+// search already ran with at least that budget — even if patience stopped
+// it early — or when the entry is verdict-only, leaving nothing to
+// continue from. Only an uncovered request pays for decoding the rows; the
+// returned history feeds the replay.
+func resumeCoverage(e CacheEntry, budget int) ([]MeasuredConfig, bool) {
+	persisted := e.Budget
+	if persisted < len(e.Rows) {
+		persisted = len(e.Rows) // entries from older files carry no budget
+	}
+	if len(e.Rows) == 0 || budget <= persisted {
+		return nil, true
+	}
+	return e.history(), false
+}
+
+// withHistory installs a persisted measurement history as the warm-start
+// replay, preserving any transfer fields the caller already set.
+func withHistory(opts Options, hist []MeasuredConfig) Options {
+	w := WarmStart{}
+	if opts.Warm != nil {
+		w = *opts.Warm
+	}
+	w.History = hist
+	opts.Warm = &w
+	return opts
+}
+
+// convergedAt recovers the 1-based index of the last improvement from a
+// best-so-far curve.
+func convergedAt(curve []float64) int {
+	at := 0
+	for i, v := range curve {
+		if i == 0 || v > curve[i-1] {
+			at = i + 1
+		}
+	}
+	return at
+}
+
+// tuneShared is the work-sharing core of TuneCached, TuneResumed's
+// network-level counterpart and TuneNetwork: satisfy the request from the
+// cache, join an identical in-flight search, or run the engine and persist
+// the trace. shared reports whether the verdict came without running a
+// search here; hist is the measurement history when one is in hand — a
+// search ran here (or was joined in flight), or a resume request decoded
+// the persisted rows — and nil on plain cache hits, which stay
+// allocation-light. With resume set, a state-carrying cache entry whose
+// history is shorter than opts.Budget re-enters the engine warm instead
+// of short-circuiting.
+func tuneShared(cache *Cache, sp *Space, measure Measurer, opts Options, resume bool) (conv.Config, Measurement, bool, []MeasuredConfig, error) {
+	opts = opts.normalized()
+	// satisfied reports whether the cache alone answers this request. The
+	// persisted rows are decoded only on the resume path (where they decide
+	// coverage and feed the replay); a plain hit stays allocation-light and
+	// returns no history — the transfer pool reads the cache's state
+	// entries directly (prime), not this seam.
+	var resumeHist []MeasuredConfig
+	satisfied := func() (conv.Config, Measurement, []MeasuredConfig, bool) {
+		e, ok := cache.getEntry(sp.Arch.Name, sp.Kind, sp.Shape)
+		if !ok {
+			return conv.Config{}, Measurement{}, nil, false
+		}
+		if resume {
+			hist, covered := resumeCoverage(e, opts.Budget)
+			if !covered {
+				resumeHist = hist
+				return conv.Config{}, Measurement{}, nil, false
+			}
+		}
+		return e.Config.config(), Measurement{Seconds: e.Seconds, GFLOPS: e.GFLOPS}, nil, true
+	}
+	if cfg, m, hist, ok := satisfied(); ok {
+		return cfg, m, true, hist, nil
+	}
+	key := cacheKey(sp.Arch.Name, sp.Kind, sp.Shape)
 	cache.flightMu.Lock()
 	if call, ok := cache.flight[key]; ok {
 		cache.flightMu.Unlock()
 		<-call.done
-		return call.cfg, call.m, true, call.err
+		return call.cfg, call.m, true, call.hist, call.err
 	}
 	// Re-check under the flight lock: a racing search may have completed —
-	// Put then delete its flight entry — between the Get above and here.
-	if cfg, m, ok := cache.Get(sp.Arch.Name, sp.Kind, sp.Shape); ok {
+	// Put then delete its flight entry — between the check above and here.
+	if cfg, m, hist, ok := satisfied(); ok {
 		cache.flightMu.Unlock()
-		return cfg, m, true, nil
+		return cfg, m, true, hist, nil
 	}
 	call := &flightCall{done: make(chan struct{})}
 	cache.flight[key] = call
 	cache.flightMu.Unlock()
 
+	if len(resumeHist) > 0 {
+		opts = withHistory(opts, resumeHist)
+	}
 	tr, err := Tune(sp, measure, opts)
 	if err == nil {
-		call.cfg, call.m = tr.Best, tr.BestM
-		cache.Put(sp.Arch.Name, sp.Kind, sp.Shape, tr.Best, tr.BestM)
+		call.cfg, call.m, call.hist = tr.Best, tr.BestM, tr.History
+		cache.PutTrace(sp.Arch.Name, sp.Kind, sp.Shape, tr)
 	}
 	call.err = err
 	close(call.done)
 	cache.flightMu.Lock()
 	delete(cache.flight, key)
 	cache.flightMu.Unlock()
-	return call.cfg, call.m, false, err
+	return call.cfg, call.m, false, call.hist, err
 }

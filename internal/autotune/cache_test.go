@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"bytes"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -71,6 +72,177 @@ func TestCacheLoadRejectsGarbage(t *testing.T) {
 	}
 	if err := c.Load(strings.NewReader(`[{"arch":"x","kind":"direct","shape":{"Batch":0}}]`)); err == nil {
 		t.Error("invalid shape accepted")
+	}
+	// A successful row with non-positive seconds would poison resumed
+	// incumbents (zero best prunes everything) and warm-pool log-costs.
+	bad := `{"version":2,"entries":[` + strings.Replace(validEntryJSON("direct"),
+		`"seconds":1.5e-4`, `"seconds":1.5e-4,"rows":[{"config":{"TileX":1,"TileY":1,"TileZ":1,"ThreadsX":1,"ThreadsY":1,"ThreadsZ":1,"SharedPerBlock":256,"Layout":0,"WinogradE":0},"seconds":0,"gflops":0,"ok":true}]`, 1) + `]}`
+	if err := c.Load(strings.NewReader(bad)); err == nil {
+		t.Error("zero-seconds successful row accepted")
+	}
+	if c.Len() != 0 {
+		t.Errorf("rejected loads still stored %d entries", c.Len())
+	}
+}
+
+// validEntryJSON is one well-formed persisted entry with a pluggable kind.
+func validEntryJSON(kind string) string {
+	return `{"arch":"V100","kind":"` + kind + `",` +
+		`"shape":{"Batch":1,"Cin":96,"Hin":27,"Win":27,"Cout":64,"Hker":3,"Wker":3,"Stride":1,"Pad":1},` +
+		`"config":{"TileX":9,"TileY":3,"TileZ":8,"ThreadsX":3,"ThreadsY":3,"ThreadsZ":2,` +
+		`"SharedPerBlock":4096,"Layout":0,"WinogradE":0},"seconds":1.5e-4,"gflops":1234}`
+}
+
+// An unknown algorithm kind must be rejected, in both file formats: a
+// corrupt or future-format cache file silently mapping to Direct would
+// poison every verdict served from it.
+func TestCacheLoadRejectsUnknownKind(t *testing.T) {
+	for name, payload := range map[string]string{
+		"v1 array":    `[` + validEntryJSON("fft") + `]`,
+		"v2 envelope": `{"version":2,"entries":[` + validEntryJSON("fft") + `]}`,
+		// A valid entry ahead of the bad one must not be committed either:
+		// a rejected file leaves the cache untouched.
+		"partial": `{"version":2,"entries":[` + validEntryJSON("direct") + `,` + validEntryJSON("fft") + `]}`,
+	} {
+		c := NewCache()
+		err := c.Load(strings.NewReader(payload))
+		if err == nil {
+			t.Errorf("%s: unknown kind accepted", name)
+		} else if !strings.Contains(err.Error(), "unknown cache kind") {
+			t.Errorf("%s: wrong error: %v", name, err)
+		}
+		if c.Len() != 0 {
+			t.Errorf("%s: rejected load still stored %d entries", name, c.Len())
+		}
+	}
+}
+
+// Version-1 files (a bare JSON array, as written before the state-carrying
+// format) still load; unknown future versions are refused.
+func TestCacheLoadFormatVersions(t *testing.T) {
+	c := NewCache()
+	if err := c.Load(strings.NewReader(`[` + validEntryJSON("direct") + `]`)); err != nil {
+		t.Fatalf("v1 file rejected: %v", err)
+	}
+	cfg, m, ok := c.Get("V100", Direct, layer())
+	if !ok || cfg.TileX != 9 || m.GFLOPS != 1234 {
+		t.Fatalf("v1 entry not retrievable: %v %v %v", cfg, m, ok)
+	}
+	if _, _, ok := c.State("V100", Direct, layer()); ok {
+		t.Error("v1 entry claims engine state")
+	}
+	if err := NewCache().Load(strings.NewReader(`{"version":3,"entries":[]}`)); err == nil {
+		t.Error("future format version accepted")
+	}
+}
+
+// State-carrying entries round-trip: history (configs, outcomes, failure
+// flags) and curve survive Save/Load bit-for-bit.
+func TestCacheStateRoundTrip(t *testing.T) {
+	c := NewCache()
+	s := layer()
+	tr := &Trace{
+		Method: "ate",
+		Best:   conv.Config{TileX: 9, TileY: 3, TileZ: 8, ThreadsX: 3, ThreadsY: 3, ThreadsZ: 2, SharedPerBlock: 4096},
+		BestM:  Measurement{Seconds: 2e-4, GFLOPS: 900},
+		Curve:  []float64{100, 900, 900},
+		History: []MeasuredConfig{
+			{Config: conv.Config{TileX: 27, TileY: 27, TileZ: 64, ThreadsX: 1, ThreadsY: 1, ThreadsZ: 1, SharedPerBlock: 256}, OK: false},
+			{Config: conv.Config{TileX: 9, TileY: 3, TileZ: 8, ThreadsX: 3, ThreadsY: 3, ThreadsZ: 2, SharedPerBlock: 4096},
+				M: Measurement{Seconds: 2e-4, GFLOPS: 900}, OK: true},
+		},
+		Measurements: 2,
+	}
+	c.PutTrace(arch.Name, Direct, s, tr)
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCache()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hist, curve, ok := restored.State(arch.Name, Direct, s)
+	if !ok {
+		t.Fatal("restored entry lost its state")
+	}
+	if len(hist) != len(tr.History) {
+		t.Fatalf("history length %d != %d", len(hist), len(tr.History))
+	}
+	for i := range hist {
+		if hist[i] != tr.History[i] {
+			t.Errorf("history[%d] %+v != %+v", i, hist[i], tr.History[i])
+		}
+	}
+	if len(curve) != len(tr.Curve) {
+		t.Fatalf("curve length %d != %d", len(curve), len(tr.Curve))
+	}
+	for i := range curve {
+		if curve[i] != tr.Curve[i] {
+			t.Errorf("curve[%d] %v != %v", i, curve[i], tr.Curve[i])
+		}
+	}
+	// And the verdict itself still serves.
+	cfg, m, ok := restored.Get(arch.Name, Direct, s)
+	if !ok || cfg != tr.Best || m != tr.BestM {
+		t.Fatalf("restored verdict wrong: %v %v %v", cfg, m, ok)
+	}
+}
+
+// The strconv key builder and its string wrapper must agree with the
+// reference fmt construction of the same key. (Keys are in-memory only —
+// files persist whole entries — so the format needs internal consistency,
+// not cross-version stability.)
+func TestCacheKeyFormat(t *testing.T) {
+	s := layer()
+	for _, kind := range []Kind{Direct, Winograd} {
+		want := fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d", arch.Name, kind,
+			s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad)
+		if got := cacheKey(arch.Name, kind, s); got != want {
+			t.Errorf("cacheKey = %q, want %q", got, want)
+		}
+		var kb [cacheKeyBuf]byte
+		if got := string(appendCacheKey(kb[:0], arch.Name, kind, s)); got != want {
+			t.Errorf("appendCacheKey = %q, want %q", got, want)
+		}
+	}
+}
+
+// BenchmarkCacheKey measures the strconv-based key builder on the shared
+// cache's hot path (must be 0 allocs/op into a reused buffer);
+// BenchmarkCacheKeySprintf is the fmt.Sprintf construction it replaced.
+func BenchmarkCacheKey(b *testing.B) {
+	s := layer()
+	var kb [cacheKeyBuf]byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = appendCacheKey(kb[:0], "V100", Direct, s)
+	}
+}
+
+func BenchmarkCacheKeySprintf(b *testing.B) {
+	s := layer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d", "V100", Direct,
+			s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad)
+	}
+}
+
+// BenchmarkCacheGet is the full hot lookup (key build + shard + map hit);
+// it must not allocate.
+func BenchmarkCacheGet(b *testing.B) {
+	c := NewCache()
+	s := layer()
+	c.Put(arch.Name, Direct, s,
+		conv.Config{TileX: 9, TileY: 3, TileZ: 8, ThreadsX: 3, ThreadsY: 3, ThreadsZ: 2, SharedPerBlock: 4096},
+		Measurement{Seconds: 1e-4, GFLOPS: 1000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := c.Get(arch.Name, Direct, s); !ok {
+			b.Fatal("miss")
+		}
 	}
 }
 

@@ -103,6 +103,10 @@ func (m *GBTModel) Update(x [][]float64, y []float64, rounds int) {
 // NumTrees reports the fitted boosting rounds so far.
 func (m *GBTModel) NumTrees() int { return len(m.trees) }
 
+// NumRows reports the training rows the model currently holds — prior
+// (transferred) rows plus everything ingested since.
+func (m *GBTModel) NumRows() int { return len(m.x) }
+
 // ingest adopts the grown dataset: it predicts the new rows under the
 // current forest and merges them into the presorted column indices.
 func (m *GBTModel) ingest(x [][]float64, y []float64) {

@@ -61,6 +61,9 @@ func TestGBTUpdateLearnsGrownDataset(t *testing.T) {
 	stale := m.RMSE(xAll, yAll)
 	for n := 200; n <= 600; n += 100 {
 		m.Update(xAll[:n], yAll[:n], 8)
+		if got := m.NumRows(); got != n {
+			t.Fatalf("NumRows=%d after ingesting %d rows", got, n)
+		}
 	}
 	if got := m.NumTrees(); got != 60+5*8 {
 		t.Fatalf("forest has %d trees, want %d", got, 60+5*8)

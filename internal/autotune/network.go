@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/conv"
@@ -14,6 +15,18 @@ import (
 // with identical (arch, algorithm, shape) keys are deduplicated — the
 // repeated 3×3 blocks of a ResNet stage tune once and share the verdict —
 // mirroring how key-based autotuner caches amortize search across a model.
+//
+// With NetworkOptions.Warm the sweep additionally transfers state between
+// related searches: a per-(arch, kind) pool — binned by layer family
+// (kernel extent × stride), the granularity at which cost structure
+// actually transfers — collects shape-normalized training rows and top-K
+// incumbent configurations from finished layers, and every later layer
+// starts with a fitted cost model and transferred incumbents instead of a
+// cold random phase. The schedule is two deterministic waves — one
+// representative search per family runs cold, then everything else runs
+// warm off the frozen pool — so verdicts stay bit-identical for any worker
+// count. A cache file saved with engine state (PutTrace) rebuilds the pool
+// on load, in which case already-covered families skip their cold wave.
 
 // NetworkLayer is one layer of a network-level tuning request. Grouped or
 // depthwise layers should be folded to their effective shape first (see
@@ -39,6 +52,21 @@ type NetworkOptions struct {
 	// layers and keeps the better verdict, as the paper's end-to-end
 	// evaluation does.
 	Winograd bool
+	// Warm enables cross-layer warm-starting: finished searches feed a
+	// per-(arch, kind) transfer pool of normalized training rows and
+	// incumbent seeds, and subsequent layers start from it instead of
+	// cold. Verdicts remain deterministic for a fixed Tune.Seed at any
+	// worker count.
+	Warm bool
+	// WarmTopK is how many incumbent configurations each finished search
+	// contributes to the pool as warm seeds (default 4).
+	WarmTopK int
+	// Resume re-enters cached searches whose persisted engine state is
+	// shorter than Tune.Budget: the stored history replays (no repeat
+	// measurements) and the search continues with the remaining budget.
+	// Cached entries at or beyond the budget — and verdict-only entries —
+	// are returned as-is.
+	Resume bool
 }
 
 // LayerVerdict is the tuning outcome of one network layer.
@@ -48,17 +76,159 @@ type LayerVerdict struct {
 	Config conv.Config
 	M      Measurement
 	// Shared is true when the verdict did not run its own search: it was
-	// satisfied from the cache or deduplicated onto a concurrent search of
-	// an identical layer.
+	// satisfied from the cache or deduplicated onto another layer's search
+	// of an identical key.
 	Shared bool
 }
 
+// netTask is one deduplicated (kind, shape) search of a network sweep.
+type netTask struct {
+	kind    Kind
+	shape   shapes.ConvShape
+	sp      *Space
+	measure Measurer
+	owner   int // first layer index that requested this search
+
+	cfg    conv.Config
+	m      Measurement
+	shared bool
+	hist   []MeasuredConfig
+	err    error
+}
+
+// poolRowCap bounds the transferred training rows per pool family; beyond
+// it, contributions add incumbent seeds only. poolSeedCapFactor bounds the
+// seeds a family accumulates (as a multiple of topK): every seed is
+// snapped and measured at the start of a warm search, so an uncapped list
+// — e.g. a primed cache with many entries per family — would flood the
+// budget with other layers' incumbents instead of leaving room to search.
+const (
+	poolRowCap        = 512
+	poolSeedCapFactor = 2
+)
+
+// poolKey addresses one family of a per-(arch, kind) transfer pool. Cost
+// structure transfers best between layers sharing kernel extent and
+// stride (a ResNet stage's repeated 3×3 blocks, the 1×1 projections, the
+// stride-2 downsamplers), so rows and seeds are binned that way and a
+// search inherits exactly its own family's state.
+type poolKey struct {
+	kind        Kind
+	hker, strid int
+}
+
+func familyOf(kind Kind, s shapes.ConvShape) poolKey {
+	return poolKey{kind: kind, hker: s.Hker, strid: s.Strid}
+}
+
+// transferPool is the cross-layer state: normalized training rows and
+// incumbent seed configurations from finished searches, binned by family.
+// It is written between waves and read-only while searches run, so no lock
+// is needed.
+type transferPool struct {
+	topK     int
+	byFamily map[poolKey]*poolEntry
+}
+
+type poolEntry struct {
+	feats [][]float64
+	costs []float64
+	seeds []conv.Config
+}
+
+func newTransferPool(topK int) *transferPool {
+	if topK < 1 {
+		topK = 4
+	}
+	return &transferPool{topK: topK, byFamily: make(map[poolKey]*poolEntry)}
+}
+
+func (p *transferPool) has(k poolKey) bool {
+	pe := p.byFamily[k]
+	return pe != nil && (len(pe.feats) > 0 || len(pe.seeds) > 0)
+}
+
+// contribute folds one finished search into its family's pool: successful
+// measurements become training rows — featurized in the source space, with
+// log-costs recentered to zero mean so only relative (shape-free) cost
+// transfers — and the top-K configurations become warm seeds.
+func (p *transferPool) contribute(kind Kind, sp *Space, hist []MeasuredConfig) {
+	var sum float64
+	n := 0
+	for _, h := range hist {
+		if h.OK {
+			sum += math.Log(h.M.Seconds)
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	mean := sum / float64(n)
+	key := familyOf(kind, sp.Shape)
+	pe := p.byFamily[key]
+	if pe == nil {
+		pe = &poolEntry{}
+		p.byFamily[key] = pe
+	}
+	for _, h := range hist {
+		if !h.OK || len(pe.feats) >= poolRowCap {
+			continue
+		}
+		pe.feats = append(pe.feats, sp.Features(h.Config))
+		pe.costs = append(pe.costs, math.Log(h.M.Seconds)-mean)
+	}
+	for _, c := range topConfigs(hist, p.topK) {
+		if len(pe.seeds) >= poolSeedCapFactor*p.topK {
+			break
+		}
+		pe.seeds = append(pe.seeds, c)
+	}
+}
+
+// prime rebuilds the pool from a loaded cache file: every state-carrying
+// entry of this architecture contributes, in deterministic key order.
+func (p *transferPool) prime(cache *Cache, arch memsim.Arch) {
+	for _, e := range cache.stateEntries(arch.Name) {
+		kind, err := kindFromString(e.Kind)
+		if err != nil {
+			continue // Load validated these; be defensive anyway
+		}
+		s := e.Shape.shape()
+		sp, err := NewSpace(s, arch, kind, winogradDefaultE(kind), true)
+		if err != nil {
+			continue
+		}
+		p.contribute(kind, sp, e.history())
+	}
+}
+
+// warmFor assembles the WarmStart a search inherits from its family, or
+// nil when the pool has nothing for it. The slices are shared read-only
+// across concurrent searches; Tune copies before it appends.
+func (p *transferPool) warmFor(k poolKey) *WarmStart {
+	pe := p.byFamily[k]
+	if pe == nil || (len(pe.feats) == 0 && len(pe.seeds) == 0) {
+		return nil
+	}
+	return &WarmStart{Feats: pe.feats, Costs: pe.costs, Seeds: pe.seeds}
+}
+
+func winogradDefaultE(k Kind) int {
+	if k == Winograd {
+		return 2
+	}
+	return 0
+}
+
 // TuneNetwork tunes every layer of a network with the paper's engine,
-// fanning layers across opts.Workers goroutines and sharing cache. Verdicts
-// come back in layer order and, for a fixed opts.Tune.Seed, are identical
-// for any Workers/opts.Tune.Workers setting. cache may be nil for a
-// throwaway run; passing a loaded persistent cache skips already-tuned
-// layers entirely.
+// fanning the deduplicated (kind, shape) searches across opts.Workers
+// goroutines against a shared cache. Verdicts come back in layer order
+// and, for a fixed opts.Tune.Seed, are identical for any
+// Workers/opts.Tune.Workers setting — with or without warm-starting.
+// cache may be nil for a throwaway run; passing a loaded persistent cache
+// skips already-tuned layers entirely (or resumes them, with opts.Resume)
+// and seeds the transfer pool from any persisted engine state.
 func TuneNetwork(arch memsim.Arch, layers []NetworkLayer, cache *Cache, opts NetworkOptions) ([]LayerVerdict, error) {
 	if len(layers) == 0 {
 		return nil, fmt.Errorf("autotune: no layers to tune")
@@ -70,44 +240,108 @@ func TuneNetwork(arch memsim.Arch, layers []NetworkLayer, cache *Cache, opts Net
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	verdicts := make([]LayerVerdict, len(layers))
-	errs := make([]error, len(layers))
-	fanIndexed(len(layers), workers, func(i int) {
-		verdicts[i], errs[i] = tuneLayer(arch, layers[i], cache, opts)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("autotune: layer %q: %w", layers[i].Name, err)
-		}
-	}
-	return verdicts, nil
-}
 
-// tuneLayer produces the best verdict for one layer: the tuned direct
-// dataflow, improved by the tuned fused-Winograd dataflow where it applies
-// and wins.
-func tuneLayer(arch memsim.Arch, l NetworkLayer, cache *Cache, opts NetworkOptions) (LayerVerdict, error) {
-	v := LayerVerdict{Layer: l, Kind: Direct}
-	sp, err := NewSpace(l.Shape, arch, Direct, 0, true)
-	if err != nil {
-		return v, err
+	// Deduplicate the layer list into search tasks, preserving first-come
+	// layer order so the schedule (and therefore the warm pool) is a pure
+	// function of the input.
+	var tasks []*netTask
+	taskIdx := make(map[string]int)
+	addTask := func(kind Kind, s shapes.ConvShape, layer int) (int, error) {
+		key := cacheKey(arch.Name, kind, s)
+		if i, ok := taskIdx[key]; ok {
+			return i, nil
+		}
+		sp, err := NewSpace(s, arch, kind, winogradDefaultE(kind), true)
+		if err != nil {
+			return -1, err
+		}
+		tasks = append(tasks, &netTask{kind: kind, shape: s, sp: sp,
+			measure: NewMemoMeasure(arch, s, kind).Measure, owner: layer})
+		taskIdx[key] = len(tasks) - 1
+		return len(tasks) - 1, nil
 	}
-	cfg, m, shared, err := tuneShared(cache, sp, DirectMeasurer(arch, l.Shape), opts.Tune)
-	if err != nil {
-		return v, err
-	}
-	v.Config, v.M, v.Shared = cfg, m, shared
-	if opts.Winograd && l.Shape.WinogradOK() && l.Shape.Hker == 3 {
-		wsp, werr := NewSpace(l.Shape, arch, Winograd, 2, true)
-		if werr == nil {
-			// Winograd may legitimately find no valid configuration for a
-			// layer (e.g. tiny spatial dims); the direct verdict stands.
-			if wcfg, wm, wshared, werr := tuneShared(cache, wsp, WinogradMeasurer(arch, l.Shape), opts.Tune); werr == nil && wm.Seconds < v.M.Seconds {
-				v.Kind, v.Config, v.M, v.Shared = Winograd, wcfg, wm, wshared
+	directOf := make([]int, len(layers))
+	winoOf := make([]int, len(layers))
+	for i, l := range layers {
+		di, err := addTask(Direct, l.Shape, i)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, err)
+		}
+		directOf[i] = di
+		winoOf[i] = -1
+		if opts.Winograd && l.Shape.WinogradOK() && l.Shape.Hker == 3 {
+			// Winograd may legitimately not admit a layer; the direct
+			// verdict stands alone then.
+			if wi, werr := addTask(Winograd, l.Shape, i); werr == nil {
+				winoOf[i] = wi
 			}
 		}
 	}
-	return v, nil
+
+	run := func(idxs []int, pool *transferPool) {
+		fanIndexed(len(idxs), workers, func(j int) {
+			t := tasks[idxs[j]]
+			to := opts.Tune
+			if pool != nil {
+				to.Warm = pool.warmFor(familyOf(t.kind, t.shape))
+			}
+			t.cfg, t.m, t.shared, t.hist, t.err = tuneShared(cache, t.sp, t.measure, to, opts.Resume)
+		})
+	}
+
+	if !opts.Warm {
+		all := make([]int, len(tasks))
+		for i := range all {
+			all[i] = i
+		}
+		run(all, nil)
+	} else {
+		// Two deterministic waves: wave 0 is one representative search per
+		// layer family the pool has nothing for yet (cold), wave 1 is
+		// everything else, warm off the pool frozen after wave 0. Both
+		// waves fan across the workers; determinism holds because searches
+		// within a wave never feed each other.
+		pool := newTransferPool(opts.WarmTopK)
+		pool.prime(cache, arch)
+		var wave0, wave1 []int
+		cold := make(map[poolKey]bool)
+		for i, t := range tasks {
+			fam := familyOf(t.kind, t.shape)
+			if !pool.has(fam) && !cold[fam] {
+				cold[fam] = true
+				wave0 = append(wave0, i)
+			} else {
+				wave1 = append(wave1, i)
+			}
+		}
+		run(wave0, nil)
+		for _, i := range wave0 {
+			if t := tasks[i]; t.err == nil {
+				pool.contribute(t.kind, t.sp, t.hist)
+			}
+		}
+		run(wave1, pool)
+	}
+
+	verdicts := make([]LayerVerdict, len(layers))
+	for i, l := range layers {
+		dt := tasks[directOf[i]]
+		if dt.err != nil {
+			return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, dt.err)
+		}
+		v := LayerVerdict{Layer: l, Kind: Direct, Config: dt.cfg, M: dt.m,
+			Shared: dt.shared || dt.owner != i}
+		if wi := winoOf[i]; wi >= 0 {
+			// A failed Winograd search (e.g. no valid configuration for
+			// tiny spatial dims) leaves the direct verdict standing.
+			if wt := tasks[wi]; wt.err == nil && wt.m.Seconds < v.M.Seconds {
+				v.Kind, v.Config, v.M = Winograd, wt.cfg, wt.m
+				v.Shared = wt.shared || wt.owner != i
+			}
+		}
+		verdicts[i] = v
+	}
+	return verdicts, nil
 }
 
 // NetworkSeconds sums repeat-weighted simulated layer times — the

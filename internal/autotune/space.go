@@ -247,6 +247,17 @@ func (sp *Space) randomConfig(rng *rand.Rand) conv.Config {
 // Neighbor mutates one axis of a config to an adjacent admissible choice —
 // the random-walk step of the configuration explorer.
 func (sp *Space) Neighbor(c conv.Config, rng *rand.Rand) conv.Config {
+	return sp.NeighborBound(c, rng, math.Inf(1))
+}
+
+// NeighborBound is Neighbor with the searching domain further restricted
+// by the pruning oracle: moves into (Sb, e) tiers whose I/O-lower-bound-
+// implied time exceeds maxSeconds are rejected inside the retry loop —
+// before any cost model is consulted — so the walk is steered through
+// tiers that can still beat the incumbent while staying fully mobile (a
+// rejected direction retries another axis rather than stalling the step).
+// maxSeconds = +Inf reproduces Neighbor exactly, random draws included.
+func (sp *Space) NeighborBound(c conv.Config, rng *rand.Rand, maxSeconds float64) conv.Config {
 	for attempt := 0; attempt < 64; attempt++ {
 		n := c
 		moves := 8
@@ -282,7 +293,8 @@ func (sp *Space) Neighbor(c conv.Config, rng *rand.Rand) conv.Config {
 			n.ThreadsX = clampFactor(n.ThreadsX, n.TileX)
 			n.ThreadsY = clampFactor(n.ThreadsY, n.TileY)
 		}
-		if n != c && sp.admissible(n) {
+		if n != c && sp.admissible(n) &&
+			(math.IsInf(maxSeconds, 1) || sp.BoundSeconds(n) <= maxSeconds) {
 			return n
 		}
 	}
@@ -308,6 +320,12 @@ func (sp *Space) SeedConfigs() []conv.Config {
 	}
 	return seeds
 }
+
+// Snap moves a configuration onto this space's axes, shrinking tiles until
+// it is admissible; ok is false if no admissible snap exists. Cross-layer
+// warm seeds go through it: an incumbent tuned for one layer's axes lands
+// on the nearest admissible point of another layer's space.
+func (sp *Space) Snap(c conv.Config) (conv.Config, bool) { return sp.snap(c) }
 
 // snap moves a config onto the space's axes, shrinking the channel tile
 // until it is admissible. ok is false if no admissible snap exists.

@@ -37,6 +37,40 @@ func WinogradMeasurer(arch memsim.Arch, s shapes.ConvShape) Measurer {
 	return NewMemoMeasure(arch, s, Winograd).Measure
 }
 
+// MeasuredConfig is one measurement record of a tuning run: the
+// configuration, its outcome and whether it measured successfully. Traces
+// carry the full record stream (Trace.History); it is the raw material of
+// cross-layer warm pools and of cache-persisted resume.
+type MeasuredConfig struct {
+	Config conv.Config
+	M      Measurement
+	OK     bool
+}
+
+// WarmStart is the transfer seam of Tune: everything a search may inherit
+// from related, already-finished searches instead of starting cold.
+type WarmStart struct {
+	// Feats/Costs are prior training rows for the cost model, in this
+	// space's feature encoding with costs normalized to zero mean per
+	// source layer (the model only ranks candidates within one layer, so
+	// only relative cost transfers). The engine fits its initial model on
+	// them and continues via GBTModel.Update as its own measurements
+	// arrive.
+	Feats [][]float64
+	Costs []float64
+	// Seeds are incumbent configurations from related layers. They are
+	// snapped onto this space's axes and measured first, so the walkers
+	// start from transferred incumbents instead of random guesses.
+	Seeds []conv.Config
+	// History is this exact key's own prior measurement stream (from a
+	// persisted cache entry). It is replayed — marked seen, booked into
+	// the trace and the training set — without re-measuring anything, so a
+	// resumed search at a higher budget continues where it stopped. When
+	// History is set, Feats/Costs are ignored: the key's own rows beat
+	// transferred ones.
+	History []MeasuredConfig
+}
+
 // Options controls a tuning run.
 type Options struct {
 	// Budget is the maximum number of measurements.
@@ -52,6 +86,14 @@ type Options struct {
 	// Patience stops the run after this many measurements without
 	// improvement (0 disables).
 	Patience int
+	// MinDelta is the relative improvement (in measured seconds) below
+	// which an improvement does not reset Patience — the min_delta of
+	// classic early stopping. The best configuration still updates on any
+	// improvement; MinDelta only governs when the run is considered
+	// converged, so a search polishing its incumbent by sub-MinDelta slivers
+	// retires instead of paying Patience again per sliver. 0 (the default)
+	// keeps the strict behavior: every improvement resets Patience.
+	MinDelta float64
 	// Seed makes runs deterministic.
 	Seed int64
 	// NoSeeds disables the Section-5 dataflow-design starting
@@ -75,6 +117,10 @@ type Options struct {
 	// auto-tuners parallelize measurement precisely to overlap this wait;
 	// with Workers > 1 the executor does the same.
 	MeasureLatency time.Duration
+	// Warm, when non-nil, warm-starts the search: prior model rows, seed
+	// configurations from related layers, and/or this key's own persisted
+	// history to resume from. nil reproduces the cold engine bit-for-bit.
+	Warm *WarmStart
 }
 
 // DefaultOptions are sensible mid-size tuning settings.
@@ -117,17 +163,40 @@ type Trace struct {
 	// the best measured time. Always 0 with Options.NoPrune (the baseline
 	// searchers are bound-blind and never prune).
 	Pruned int
+	// History records every measurement in submission order (replayed
+	// history included, on a resumed run). Cache.PutTrace persists it and
+	// the network tuner's transfer pool is built from it.
+	History []MeasuredConfig
+	// Budget is the measurement budget the run was given (normalized).
+	// Persisted with the trace, it lets a resume request distinguish "this
+	// search stopped early on patience at this very budget" (covered —
+	// nothing to continue) from "this search ran out of a smaller budget"
+	// (resume with the remainder).
+	Budget int
 }
 
 // record is the shared bookkeeping of all strategies.
 type record struct {
 	trace Trace
 	found bool
+	// minDelta is Options.MinDelta: improvements smaller than this relative
+	// threshold update the best but do not reset patience.
+	minDelta float64
+	// sigAt is the measurement index of the last significant (> minDelta)
+	// improvement; with minDelta 0 it equals trace.ConvergedAt.
+	sigAt int
+	// resumedAt is how many measurements were replayed from persisted
+	// history rather than performed; patience only counts fresh ones.
+	resumedAt int
 }
 
 func (r *record) add(c conv.Config, m Measurement, ok bool) {
 	r.trace.Measurements++
+	r.trace.History = append(r.trace.History, MeasuredConfig{Config: c, M: m, OK: ok})
 	if ok && (!r.found || m.Seconds < r.trace.BestM.Seconds) {
+		if !r.found || r.trace.BestM.Seconds-m.Seconds > r.minDelta*r.trace.BestM.Seconds {
+			r.sigAt = r.trace.Measurements
+		}
 		r.found = true
 		r.trace.Best = c
 		r.trace.BestM = m
@@ -137,7 +206,11 @@ func (r *record) add(c conv.Config, m Measurement, ok bool) {
 }
 
 func (r *record) stale(patience int) bool {
-	return patience > 0 && r.found && r.trace.Measurements-r.trace.ConvergedAt >= patience
+	since := r.sigAt
+	if r.resumedAt > since {
+		since = r.resumedAt
+	}
+	return patience > 0 && r.found && r.trace.Measurements-since >= patience
 }
 
 // Tune runs the paper's auto-tuning engine (Figure 8): iterate
@@ -150,12 +223,23 @@ func (r *record) stale(patience int) bool {
 //
 // Three things keep the engine's own machinery off the critical path:
 //
-//   - Bound-guided pruning (unless opts.NoPrune): before a candidate is
-//     measured, its I/O-lower-bound-implied time (Space.BoundSeconds) is
-//     compared against the best measured time; provably-worse candidates
-//     are skipped and counted in Trace.Pruned. Because the bound is a true
-//     floor on every measurement, pruning can never discard a
-//     configuration that would have improved the verdict.
+//   - Bound-guided pruning (unless opts.NoPrune): the I/O-lower-bound
+//     oracle (Space.BoundSeconds) runs inside proposal generation itself.
+//     Walkers reject Neighbor moves into (Sb, e) tiers whose floor already
+//     exceeds the incumbent before any model prediction, the candidate
+//     pool is bound-filtered before the batched ranking prediction, and
+//     the measurement batch re-checks survivors against the (possibly
+//     improved) incumbent. Provably-worse candidates are counted in
+//     Trace.Pruned. Because the bound is a true floor on every
+//     measurement, pruning can never discard a configuration that would
+//     have improved the verdict.
+//
+// A non-nil opts.Warm transfers state from related searches: prior model
+// rows fit the initial cost model, transferred incumbent configs are
+// snapped into the space and measured first (replacing most of the cold
+// start's random guesses), and a persisted history replays without
+// re-measuring so a cached search resumes at a higher budget. With
+// opts.Warm nil the engine is bit-identical to the cold path.
 //   - Warm-started cost model: the GBT forest is kept across iterations
 //     and refit incrementally (GBTModel.Update) on the grown dataset, with
 //     a full retrain only when the forest would exceed its size cap.
@@ -165,7 +249,12 @@ func (r *record) stale(patience int) bool {
 func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
-	rec := &record{trace: Trace{Method: "ate"}}
+	rec := &record{trace: Trace{Method: "ate", Budget: opts.Budget}, minDelta: opts.MinDelta}
+
+	warm := opts.Warm
+	resume := warm != nil && len(warm.History) > 0
+	transfer := warm != nil && !resume &&
+		len(warm.Feats) > 0 && len(warm.Feats) == len(warm.Costs)
 
 	// Training rows are slices into one growing backing array (featStore):
 	// featurizing a measurement appends NumFeatures floats instead of
@@ -179,6 +268,22 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	// saved as the initial guesses for the next searching step".
 	var top bestK
 	top.reset(opts.Walkers)
+
+	// Transferred rows live on a per-source-layer normalized cost scale
+	// (zero mean); the layer's own rows are re-centered by the first
+	// successful measurement's log-cost so both populations are
+	// commensurable. Predictions are only ever compared between candidates
+	// of this one layer, so a constant offset never changes a ranking. On
+	// the cold path the offset stays 0 and rows are raw log-seconds,
+	// bit-identical to the pre-warm engine.
+	costOffset, offsetSet := 0.0, !transfer
+
+	addRow := func(c conv.Config, cost float64) {
+		start := len(featStore)
+		featStore = sp.FeaturesInto(featStore, c)
+		feats = append(feats, featStore[start:len(featStore):len(featStore)])
+		costs = append(costs, cost)
+	}
 
 	// measureBatch dedups the candidates against everything measured so
 	// far, drops the ones the lower bound proves non-improving, truncates
@@ -217,30 +322,15 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 			cost := 20.0 // a large log-cost for failed configs
 			if ok {
 				cost = math.Log(m.Seconds)
+				if !offsetSet {
+					costOffset, offsetSet = cost, true
+				}
+				cost -= costOffset
 				top.push(scored{c, m.Seconds})
 			}
-			start := len(featStore)
-			featStore = sp.FeaturesInto(featStore, c)
-			feats = append(feats, featStore[start:len(featStore):len(featStore)])
-			costs = append(costs, cost)
+			addRow(c, cost)
 		}
 	}
-
-	// The coarse-grained Section 5 dataflow designs are the first
-	// measurements — the engine refines them, as in the paper — followed by
-	// random guesses that seed the walkers and the model.
-	if !opts.NoSeeds {
-		measureBatch(sp.SeedConfigs())
-	}
-	initRandom := 3 * opts.Walkers
-	if b := opts.Budget / 4; b < initRandom {
-		initRandom = b
-	}
-	initial := make([]conv.Config, 0, initRandom)
-	for i := 0; i < initRandom; i++ {
-		initial = append(initial, sp.Sample(rng))
-	}
-	measureBatch(initial)
 
 	// The cost model is warm-started: the forest persists across
 	// iterations and each refit boosts UpdateTrees fresh rounds against
@@ -257,6 +347,74 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	maxForest := 4 * gcfg.Trees
 	const warmStartRows = 64
 	var model *GBTModel
+
+	if resume {
+		// Replay the persisted history: every prior measurement is marked
+		// seen and booked into the trace and the training set without
+		// re-measuring, so continuing at a higher budget performs zero
+		// repeat measurements and the cost model picks up via Update on
+		// the replayed rows.
+		for _, h := range warm.History {
+			if seen[h.Config] {
+				continue
+			}
+			seen[h.Config] = true
+			rec.add(h.Config, h.M, h.OK)
+			cost := 20.0
+			if h.OK {
+				cost = math.Log(h.M.Seconds)
+				top.push(scored{h.Config, h.M.Seconds})
+			}
+			addRow(h.Config, cost)
+		}
+		rec.resumedAt = rec.trace.Measurements
+	} else if transfer {
+		// Fit the initial cost model on the transferred rows; the layer's
+		// own rows append behind them, so every later refit continues via
+		// GBTModel.Update over the combined dataset.
+		feats = append(make([][]float64, 0, len(warm.Feats)+opts.Budget), warm.Feats...)
+		costs = append(make([]float64, 0, len(warm.Costs)+opts.Budget), warm.Costs...)
+		model = TrainGBT(gcfg, feats, costs)
+	}
+
+	// The coarse-grained Section 5 dataflow designs are the first
+	// measurements — the engine refines them, as in the paper — followed
+	// by transferred incumbents (snapped onto this space's axes) and, on a
+	// cold start, 3x Walkers random guesses that seed the walkers and the
+	// model. A genuinely warm start (prior rows, transferred seeds or a
+	// replayed history) drops the random phase entirely: the model and the
+	// incumbents are already populated, and the per-iteration diversity
+	// samples inside the loop keep exploring — which is what lets a
+	// transferred layer retire after a handful of measurements once the
+	// bound filter proves nothing sampled can beat its incumbent.
+	if !opts.NoSeeds {
+		measureBatch(sp.SeedConfigs())
+	}
+	seeded := false
+	if warm != nil && len(warm.Seeds) > 0 {
+		snapped := make([]conv.Config, 0, len(warm.Seeds))
+		for _, s := range warm.Seeds {
+			if c, ok := sp.Snap(s); ok {
+				snapped = append(snapped, c)
+			}
+		}
+		// Seeds that cannot land anywhere in this space inherit nothing;
+		// only an actually-snapped seed counts as a warm start below.
+		seeded = len(snapped) > 0
+		measureBatch(snapped)
+	}
+	initRandom := 3 * opts.Walkers
+	if resume || transfer || seeded {
+		initRandom = 0
+	}
+	if b := opts.Budget / 4; b < initRandom {
+		initRandom = b
+	}
+	initial := make([]conv.Config, 0, initRandom)
+	for i := 0; i < initRandom; i++ {
+		initial = append(initial, sp.Sample(rng))
+	}
+	measureBatch(initial)
 
 	// Scratch reused across iterations: walker feature buffers, the ranking
 	// feature matrix (rows into one backing array), its predictions, and
@@ -282,8 +440,36 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 		}
 		// Build a candidate pool: every unseen config visited by the n_s
 		// parallel random walks (started from the best measured configs),
-		// plus fresh random samples for diversity.
+		// plus fresh random samples for diversity. The lower-bound oracle
+		// filters the pool as it forms — a candidate whose (Sb, e) tier
+		// floor already exceeds the incumbent is discarded (and counted
+		// pruned) before it can occupy a ranking slot, so the batched
+		// prediction ranks only configurations that could still win.
 		pool := make(map[conv.Config]bool)
+		addCand := func(c conv.Config) {
+			if seen[c] || pool[c] {
+				return
+			}
+			if !opts.NoPrune && rec.found && sp.BoundSeconds(c) > rec.trace.BestM.Seconds {
+				seen[c] = true
+				rec.trace.Pruned++
+				return
+			}
+			pool[c] = true
+		}
+		// In-walk bound guidance, for warm-started searches: Neighbor moves
+		// into (Sb, e) tiers whose floor cannot beat the incumbent are
+		// rejected inside the step — before the model is consulted — and
+		// the walker retries another direction. Warm incumbents are near
+		// final from measurement #1, so the rejections steer walkers
+		// straight at the viable tiers; against a cold search's weak early
+		// incumbent the same restriction only injects trajectory variance
+		// (measured on the Figure 13 layers), so the cold walk stays free
+		// and relies on the pool filter below.
+		walkLimit := math.Inf(1)
+		if !opts.NoPrune && warm != nil && rec.found {
+			walkLimit = rec.trace.BestM.Seconds
+		}
 		starts := top.sorted(startsBuf)
 		startsBuf = starts
 		for i := 0; i < opts.Walkers; i++ {
@@ -295,21 +481,17 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 			walkFeat = sp.FeaturesInto(walkFeat[:0], cur)
 			curCost := model.Predict(walkFeat)
 			for step := 0; step < opts.WalkSteps; step++ {
-				next := sp.Neighbor(cur, rng)
+				next := sp.NeighborBound(cur, rng, walkLimit)
 				walkFeat = sp.FeaturesInto(walkFeat[:0], next)
 				nextCost := model.Predict(walkFeat)
 				if nextCost < curCost || rng.Float64() < 0.1 {
 					cur, curCost = next, nextCost
 				}
-				if !seen[cur] {
-					pool[cur] = true
-				}
+				addCand(cur)
 			}
 		}
 		for i := 0; i < 4*opts.BatchSize; i++ {
-			if c := sp.Sample(rng); !seen[c] {
-				pool[c] = true
-			}
+			addCand(sp.Sample(rng))
 		}
 		if len(pool) == 0 {
 			break // space exhausted

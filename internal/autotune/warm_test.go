@@ -1,0 +1,338 @@
+package autotune
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/conv"
+	"repro/internal/shapes"
+)
+
+// randomNetwork draws a small staged network — the repeated-geometry
+// structure (same kernel family, channels doubling as resolution halves,
+// repeated blocks per stage) that cross-layer transfer exists for, with the
+// stage depths, repeats, kernel and base width randomized.
+func randomNetwork(rng *rand.Rand) []NetworkLayer {
+	k := []int{1, 3, 3}[rng.Intn(3)]
+	ch := []int{16, 32}[rng.Intn(2)]
+	hw := 28
+	var layers []NetworkLayer
+	for stage := 0; stage < 3; stage++ {
+		s := shapes.ConvShape{Batch: 1, Cin: ch, Cout: ch, Hker: k, Wker: k,
+			Strid: 1, Pad: k / 2, Hin: hw, Win: hw}
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			layers = append(layers, NetworkLayer{Name: fmt.Sprintf("s%d_%d", stage, i),
+				Shape: s, Repeat: 1 + rng.Intn(2)})
+		}
+		hw /= 2
+		ch *= 2
+	}
+	return layers
+}
+
+// The warm-start property: on randomized repeated-geometry networks, a
+// warm-started sweep's repeat-weighted network time is never worse than
+// the cold sweep's at equal per-layer budget. Warm layers measure the
+// transferred incumbents first and the bound filter prunes against them
+// from measurement #1, so on related geometry transfer only adds
+// information (the trial set pins ten networks across both algorithms).
+func TestWarmNetworkNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		layers := randomNetwork(rng)
+		opts := NetworkOptions{Tune: smallOpts(32, 3), Workers: 4, Winograd: trial%2 == 0}
+		cold, err := TuneNetwork(arch, layers, NewCache(), opts)
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		warm := opts
+		warm.Warm = true
+		got, err := TuneNetwork(arch, layers, NewCache(), warm)
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		cs, ws := NetworkSeconds(cold), NetworkSeconds(got)
+		if ws > cs*(1+1e-9) {
+			t.Errorf("trial %d: warm network time %.6g worse than cold %.6g", trial, ws, cs)
+		}
+	}
+}
+
+// Warm-started sweeps stay bit-identical across every worker knob: the
+// two-wave schedule freezes the transfer pool between waves, so neither
+// the layer fan-out nor the per-search measurement executor can reorder
+// what any search sees.
+func TestTuneNetworkWarmDeterministic(t *testing.T) {
+	layers := resnetBlockLayers()
+	run := func(workers int) []LayerVerdict {
+		o := NetworkOptions{Tune: smallOpts(24, 3), Workers: workers, Winograd: true, Warm: true}
+		o.Tune.Workers = workers
+		v, err := TuneNetwork(arch, layers, NewCache(), o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return v
+	}
+	ref := run(1)
+	for _, w := range []int{4, 9} {
+		got := run(w)
+		for i := range layers {
+			if got[i].Config != ref[i].Config || got[i].M != ref[i].M || got[i].Kind != ref[i].Kind {
+				t.Errorf("layer %s: warm verdict differs at workers=%d: %+v vs %+v",
+					layers[i].Name, w, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// A warm-started Tune — transferred rows, seeds, in-walk bound steering —
+// is bit-identical (trace, curve, Pruned counter) for any measurement
+// worker count, like the cold engine.
+func TestWarmStartDeterministicAcrossWorkers(t *testing.T) {
+	donor := shapes.ConvShape{Batch: 1, Cin: 64, Hin: 14, Win: 14, Cout: 32, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	dsp, err := NewSpace(donor, arch, Direct, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtr, err := Tune(dsp, DirectMeasurer(arch, donor), smallOpts(32, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newTransferPool(4)
+	pool.contribute(Direct, dsp, dtr.History)
+	warm := pool.warmFor(familyOf(Direct, donor))
+	if warm == nil || len(warm.Feats) == 0 || len(warm.Seeds) == 0 {
+		t.Fatal("donor search contributed nothing to the pool")
+	}
+
+	sp := mustSpace(t, true)
+	measure := DirectMeasurer(arch, layer())
+	opts := smallOpts(48, 11)
+	opts.Warm = warm
+	ref, err := Tune(sp, measure, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 9} {
+		o := opts
+		o.Workers = workers
+		tr, err := Tune(sp, measure, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !traceEqual(ref, tr) {
+			t.Errorf("workers=%d: warm trace diverges (best %v vs %v, pruned %d vs %d)",
+				workers, tr.Best, ref.Best, tr.Pruned, ref.Pruned)
+		}
+	}
+}
+
+// A cache saved by a state-persisting run rebuilds the transfer pool on
+// load, so a later sweep skips even the cold representative wave.
+func TestWarmPoolPrimedFromCache(t *testing.T) {
+	layers := resnetBlockLayers()
+	cache := NewCache()
+	opts := NetworkOptions{Tune: smallOpts(24, 3), Workers: 4, Warm: true}
+	if _, err := TuneNetwork(arch, layers, cache, opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cache.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCache()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pool := newTransferPool(0)
+	pool.prime(restored, arch)
+	fam := familyOf(Direct, layers[1].Shape)
+	if !pool.has(fam) {
+		t.Fatal("reloaded cache primed no pool for the stage family")
+	}
+	w := pool.warmFor(fam)
+	if len(w.Feats) == 0 || len(w.Feats) != len(w.Costs) || len(w.Seeds) == 0 {
+		t.Fatalf("degenerate primed pool: %d rows, %d costs, %d seeds",
+			len(w.Feats), len(w.Costs), len(w.Seeds))
+	}
+}
+
+// The pool's seed list is capped: repeated contributions to one family
+// (e.g. a primed cache with many sibling entries) must not accumulate an
+// unbounded seed set that would flood a warm search's budget before it
+// can explore.
+func TestWarmPoolSeedCap(t *testing.T) {
+	donor := shapes.ConvShape{Batch: 1, Cin: 64, Hin: 14, Win: 14, Cout: 32, Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	dsp, err := NewSpace(donor, arch, Direct, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtr, err := Tune(dsp, DirectMeasurer(arch, donor), smallOpts(32, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newTransferPool(4)
+	for i := 0; i < 6; i++ {
+		pool.contribute(Direct, dsp, dtr.History)
+	}
+	w := pool.warmFor(familyOf(Direct, donor))
+	if got, max := len(w.Seeds), poolSeedCapFactor*4; got > max {
+		t.Errorf("pool accumulated %d seeds, cap is %d", got, max)
+	}
+}
+
+// countRepeats wraps a measurer and fails the test if any config in
+// forbidden is ever measured.
+func countRepeats(t *testing.T, inner Measurer, forbidden map[conv.Config]bool) (Measurer, *int) {
+	t.Helper()
+	calls := new(int)
+	return func(c conv.Config) (Measurement, bool) {
+		*calls++
+		if forbidden[c] {
+			t.Errorf("config %v re-measured despite persisted history", c)
+		}
+		return inner(c)
+	}, calls
+}
+
+// Resume at a doubled budget: the persisted history replays — zero repeat
+// measurements — the convergence curve extends the original exactly, and
+// the verdict can only improve.
+func TestResumeDoubledBudgetNoRemeasure(t *testing.T) {
+	sp := mustSpace(t, true)
+	measure := DirectMeasurer(arch, layer())
+	cache := NewCache()
+	cfg0, m0, err := TuneCached(cache, sp, measure, smallOpts(32, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, curve, ok := cache.State(arch.Name, Direct, layer())
+	if !ok || len(hist) == 0 {
+		t.Fatal("TuneCached persisted no engine state")
+	}
+	already := make(map[conv.Config]bool, len(hist))
+	for _, h := range hist {
+		already[h.Config] = true
+	}
+
+	counting, calls := countRepeats(t, measure, already)
+	tr, err := TuneResumed(cache, sp, counting, smallOpts(64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *calls == 0 {
+		t.Error("resume at doubled budget measured nothing new")
+	}
+	if tr.Measurements != len(hist)+*calls {
+		t.Errorf("measurements %d != replayed %d + fresh %d", tr.Measurements, len(hist), *calls)
+	}
+	if len(tr.Curve) < len(curve) {
+		t.Fatalf("resumed curve shorter than original: %d < %d", len(tr.Curve), len(curve))
+	}
+	for i := range curve {
+		if tr.Curve[i] != curve[i] {
+			t.Fatalf("resumed curve diverges from the original at %d", i)
+		}
+	}
+	if tr.BestM.Seconds > m0.Seconds {
+		t.Errorf("resumed best %.6g worse than original %.6g (%v vs %v)",
+			tr.BestM.Seconds, m0.Seconds, tr.Best, cfg0)
+	}
+	// The grown state persisted: resuming again under the same budget is
+	// satisfied from the cache without a single measurement.
+	counting2, calls2 := countRepeats(t, measure, nil)
+	tr2, err := TuneResumed(cache, sp, counting2, smallOpts(64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *calls2 != 0 {
+		t.Errorf("covered resume still measured %d configs", *calls2)
+	}
+	if tr2.BestM != tr.BestM {
+		t.Errorf("covered resume verdict %v != persisted %v", tr2.BestM, tr.BestM)
+	}
+}
+
+// A search that stopped on patience below its budget is covered at that
+// budget: resuming with identical options must be a no-op (no fresh
+// measurements), not a repeated patience-burn.
+func TestResumeCoveredByPatienceStop(t *testing.T) {
+	sp := mustSpace(t, true)
+	measure := DirectMeasurer(arch, layer())
+	cache := NewCache()
+	opts := smallOpts(200, 5)
+	opts.Patience = 10
+	if _, _, err := TuneCached(cache, sp, measure, opts); err != nil {
+		t.Fatal(err)
+	}
+	hist, _, ok := cache.State(arch.Name, Direct, layer())
+	if !ok || len(hist) >= 200 {
+		t.Fatalf("setup: want a patience-stopped history below budget, got %d rows", len(hist))
+	}
+	counting, calls := countRepeats(t, measure, nil)
+	tr, err := TuneResumed(cache, sp, counting, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 0 {
+		t.Errorf("identical resume of a patience-converged search measured %d configs", *calls)
+	}
+	if tr.Measurements != len(hist) {
+		t.Errorf("synthesized trace reports %d measurements, cache holds %d", tr.Measurements, len(hist))
+	}
+}
+
+// TuneNetwork with Resume re-enters only under-budget cached layers and
+// repeats no measurement.
+func TestTuneNetworkResume(t *testing.T) {
+	layers := resnetBlockLayers()
+	cache := NewCache()
+	if _, err := TuneNetwork(arch, layers, cache, NetworkOptions{Tune: smallOpts(16, 3), Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	already := make(map[conv.Config]bool)
+	for _, l := range layers {
+		if hist, _, ok := cache.State(arch.Name, Direct, l.Shape); ok {
+			for _, h := range hist {
+				already[h.Config] = true
+			}
+		}
+	}
+	if len(already) == 0 {
+		t.Fatal("no persisted state after the first sweep")
+	}
+	first := cache.Len()
+	o := NetworkOptions{Tune: smallOpts(32, 3), Workers: 4, Resume: true}
+	verdicts, err := TuneNetwork(arch, layers, cache, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != first {
+		t.Errorf("resume changed the key count: %d -> %d", first, cache.Len())
+	}
+	for i, l := range layers {
+		hist, _, ok := cache.State(arch.Name, Direct, l.Shape)
+		if !ok {
+			t.Fatalf("layer %s lost its state", l.Name)
+		}
+		if len(hist) <= 16-1 {
+			t.Errorf("layer %s: resumed history not grown (%d rows)", l.Name, len(hist))
+		}
+		// The resumed history must extend the original: no prefix config
+		// re-measured, and the verdict is at least as good as before.
+		seen := make(map[conv.Config]int)
+		for _, h := range hist {
+			seen[h.Config]++
+		}
+		for c, n := range seen {
+			if n > 1 {
+				t.Fatalf("layer %s: config %v appears %d times in resumed history", l.Name, c, n)
+			}
+		}
+		_ = i
+		_ = verdicts
+	}
+}

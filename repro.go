@@ -218,6 +218,13 @@ type TuneOptions struct {
 	// though the freed budget may steer a budget-limited search along a
 	// different (typically better) trajectory than a NoPrune run.
 	NoPrune bool
+	// MinDelta is the relative improvement below which the engine's
+	// patience is not reset (classic early stopping's min_delta): a search
+	// polishing its incumbent by sub-MinDelta slivers retires instead of
+	// paying the full patience again per sliver. The best configuration
+	// still updates on any improvement. 0 (default): any improvement
+	// resets patience.
+	MinDelta float64
 }
 
 func (o TuneOptions) lower() autotune.Options {
@@ -233,6 +240,7 @@ func (o TuneOptions) lower() autotune.Options {
 	}
 	opts.MeasureLatency = o.MeasureLatency
 	opts.NoPrune = o.NoPrune
+	opts.MinDelta = o.MinDelta
 	return opts
 }
 
@@ -254,6 +262,28 @@ func TuneWinograd(arch Arch, s Shape, o TuneOptions) (*TuneTrace, error) {
 		return nil, err
 	}
 	return autotune.Tune(sp, autotune.WinogradMeasurer(arch, s), o.lower())
+}
+
+// ResumeDirect continues a cached direct-dataflow search at a (typically
+// higher) budget: the persisted measurement history replays into the
+// engine — no measurement is ever repeated — and the grown state is
+// written back to the cache. A cached history already covering the budget
+// returns as a synthesized trace without measuring anything.
+func ResumeDirect(arch Arch, s Shape, cache *TuningCache, o TuneOptions) (*TuneTrace, error) {
+	sp, err := autotune.NewSpace(s, arch, autotune.Direct, 0, true)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.TuneResumed(cache, sp, autotune.DirectMeasurer(arch, s), o.lower())
+}
+
+// ResumeWinograd is ResumeDirect for the fused Winograd dataflow.
+func ResumeWinograd(arch Arch, s Shape, cache *TuningCache, o TuneOptions) (*TuneTrace, error) {
+	sp, err := autotune.NewSpace(s, arch, autotune.Winograd, 2, true)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.TuneResumed(cache, sp, autotune.WinogradMeasurer(arch, s), o.lower())
 }
 
 // NetworkLayer is one layer of a network-level tuning request.
@@ -286,6 +316,20 @@ type NetworkTuneOptions struct {
 	// Winograd also tunes the fused Winograd dataflow where it applies and
 	// keeps the better verdict, as the paper's end-to-end evaluation does.
 	Winograd bool
+	// Warm enables cross-layer warm-starting: finished layers feed a
+	// per-(arch, algorithm) transfer pool of normalized cost-model rows
+	// and incumbent configurations, and every subsequent layer starts from
+	// it — fitted model, transferred incumbents, in-walk bound steering —
+	// instead of cold. Repeated-geometry networks converge in a fraction
+	// of the measurements; verdicts stay deterministic for a fixed Seed at
+	// any worker count. A cache saved by a warm run carries engine state,
+	// so reloading it also rebuilds the pool.
+	Warm bool
+	// Resume re-enters cached layers whose persisted search state is
+	// shorter than Budget: the stored measurement history replays (no
+	// measurement is ever repeated) and the search continues with the
+	// remaining budget.
+	Resume bool
 }
 
 // TuneNetwork tunes every layer of a network concurrently with a shared
@@ -298,6 +342,8 @@ func TuneNetwork(arch Arch, layers []NetworkLayer, cache *TuningCache, o Network
 		Tune:     per.lower(),
 		Workers:  o.LayerWorkers,
 		Winograd: o.Winograd,
+		Warm:     o.Warm,
+		Resume:   o.Resume,
 	})
 }
 
