@@ -286,11 +286,7 @@ func BenchmarkAblationEviction(b *testing.B) {
 // configurations stay bit-identical (the benchmark fails otherwise).
 func BenchmarkTuneNetwork(b *testing.B) {
 	arch := memsim.V100
-	model := models.ResNet18()
-	layers := make([]autotune.NetworkLayer, len(model.Layers))
-	for i, l := range model.Layers {
-		layers[i] = autotune.NetworkLayer{Name: l.Name, Shape: l.Shape, Repeat: l.Repeat}
-	}
+	layers := models.ResNet18().NetworkLayers()
 	tune := autotune.DefaultOptions()
 	tune.Budget = 32
 	tune.Patience = 0
@@ -348,11 +344,7 @@ func BenchmarkTuneNetwork(b *testing.B) {
 // rather than asserted.
 func BenchmarkTuneNetworkWarm(b *testing.B) {
 	arch := memsim.V100
-	model := models.ResNet18()
-	layers := make([]autotune.NetworkLayer, len(model.Layers))
-	for i, l := range model.Layers {
-		layers[i] = autotune.NetworkLayer{Name: l.Name, Shape: l.Shape, Repeat: l.Repeat}
-	}
+	layers := models.ResNet18().NetworkLayers()
 	tune := autotune.DefaultOptions()
 	tune.Budget = 128
 	tune.Patience = 16

@@ -1,0 +1,99 @@
+// Command tuned is the tuning-as-a-service daemon: a long-running HTTP
+// server wrapping the network auto-tuner.
+//
+//	tuned -addr :9911 -state tuned.cache -resume
+//
+// Clients POST a JSON network description to /v1/tune and get per-layer
+// verdicts back; GET /v1/bench serves the benchmark trajectory and
+// GET /healthz the cache and admission counters. Identical in-flight
+// requests collapse into one search, concurrent distinct networks merge
+// into one transfer pool, and SIGTERM flushes the cache (verdicts plus
+// engine state) to -state so the next boot replays instead of re-tuning.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/tuned"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9911", "listen address")
+	state := flag.String("state", "", "cache state file: loaded on boot, flushed on shutdown")
+	resume := flag.Bool("resume", false, "resume cached searches whose persisted budget is short of the requested one")
+	batchWindow := flag.Duration("batch-window", 20*time.Millisecond, "admission window within which concurrent requests merge into one tuning batch")
+	maxInflight := flag.Int64("max-inflight", 0, "max in-flight measurement budget before requests are shed with 429 (0 = unlimited)")
+	cacheEntries := flag.Int("cache-entries", 0, "max cached search keys before LRU eviction (0 = unlimited)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "approximate max cache size in bytes before LRU eviction (0 = unlimited)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "expire cache entries unused for this long (0 = never)")
+	bench := flag.String("bench", "BENCH_autotune.json", "benchmark trajectory JSON served at /v1/bench")
+	budget := flag.Int("budget", 0, "default per-layer measurement budget (0 = engine default)")
+	seed := flag.Int64("seed", 0, "default engine seed")
+	workers := flag.Int("workers", 0, "measurement workers per search (0 = GOMAXPROCS)")
+	layerWorkers := flag.Int("layer-workers", 0, "concurrent per-layer searches per batch (0 = GOMAXPROCS)")
+	winograd := flag.Bool("winograd", true, "also tune the fused Winograd dataflow where it applies")
+	warm := flag.Bool("warm", true, "warm-start searches from tuned relatives (cross-request transfer)")
+	flag.Parse()
+
+	opts := autotune.DefaultOptions()
+	if *budget > 0 {
+		opts.Budget = *budget
+	}
+	opts.Seed = *seed
+	opts.Workers = *workers
+
+	cache := autotune.NewCache()
+	if *cacheEntries > 0 || *cacheBytes > 0 || *cacheTTL > 0 {
+		cache.SetEviction(autotune.EvictionPolicy{
+			MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, TTL: *cacheTTL})
+	}
+
+	srv, err := tuned.New(tuned.Config{
+		Cache: cache, Tune: opts,
+		LayerWorkers: *layerWorkers, Winograd: *winograd, Warm: *warm, Resume: *resume,
+		BatchWindow: *batchWindow, MaxInflight: *maxInflight,
+		StatePath: *state, BenchPath: *bench,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("tuned: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "tuned: shutdown: %v\n", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tuned: state flush: %v\n", err)
+		os.Exit(1)
+	}
+	if *state != "" {
+		fmt.Printf("tuned: state flushed to %s\n", *state)
+	}
+}

@@ -29,10 +29,7 @@ func main() {
 	fmt.Printf("%s on simulated %s (%.2f GFLOP per image)\n\n",
 		model.Name, arch.Name, float64(model.TotalFLOPs())/1e9)
 
-	layers := make([]repro.NetworkLayer, len(model.Layers))
-	for i, l := range model.Layers {
-		layers[i] = repro.NetworkLayer{Name: l.Name, Shape: l.EffectiveShape(), Repeat: l.Repeat}
-	}
+	layers := model.NetworkLayers()
 	// Warm enables cross-layer transfer: MobileNet's stages repeat the same
 	// geometry at shrinking resolution, exactly the case where later layers
 	// profit from the rows and incumbents of earlier ones.

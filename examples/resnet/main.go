@@ -25,10 +25,7 @@ func main() {
 	fmt.Printf("%s on simulated %s (%.1f GFLOP per image)\n\n",
 		model.Name, arch.Name, float64(model.TotalFLOPs())/1e9)
 
-	layers := make([]repro.NetworkLayer, len(model.Layers))
-	for i, l := range model.Layers {
-		layers[i] = repro.NetworkLayer{Name: l.Name, Shape: l.Shape, Repeat: l.Repeat}
-	}
+	layers := model.NetworkLayers()
 	// Warm turns on cross-layer warm-starting: one representative search
 	// per algorithm runs cold, every other layer starts from the transfer
 	// pool's fitted cost model and incumbents — the ResNet stages repeat

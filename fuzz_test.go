@@ -1,0 +1,43 @@
+package repro
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The network-description decoder is the service's front door and parses
+// whatever a client POSTs. Under fuzzing it must either return a validated
+// description or an error — never panic — and anything it accepts must
+// survive a marshal/reparse round trip unchanged (the wire format is
+// self-consistent).
+func FuzzParseNetworkDescription(f *testing.F) {
+	f.Add([]byte(`{"arch":"V100","layers":[{"cin":64,"hin":28,"cout":64,"hker":3,"pad":1}],"options":{"budget":16}}`))
+	f.Add([]byte(`{"arch":"TitanX","name":"resnet18","layers":[{"name":"conv1","batch":1,"cin":3,"hin":224,"win":224,"cout":64,"hker":7,"wker":7,"stride":2,"pad":3,"repeat":1}],"options":{"budget":400,"seed":7,"winograd":false}}`))
+	f.Add([]byte(`{"arch":"","layers":[]}`))
+	f.Add([]byte(`{"arch":"V100","layers":[{"cin":-1,"hin":8,"cout":8,"hker":3}]}`))
+	f.Add([]byte(`{"arch":"V100","layers":[{"cin":65537,"hin":8,"cout":8,"hker":3}]}`))
+	f.Add([]byte(`{"arch":"V100","unknown":true}`))
+	f.Add([]byte(`{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3,"pad":1}]}{}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseNetworkDescription(data)
+		if err != nil {
+			return
+		}
+		// Accepted input: the normalized description re-encodes and
+		// re-parses to itself.
+		again, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("accepted description failed to marshal: %v", err)
+		}
+		d2, err := ParseNetworkDescription(again)
+		if err != nil {
+			t.Fatalf("re-encoded description rejected: %v", err)
+		}
+		if len(d2.Layers) != len(d.Layers) || d2.Arch != d.Arch {
+			t.Fatalf("round trip changed the description: %+v != %+v", d2, d)
+		}
+	})
+}

@@ -1,12 +1,14 @@
 package repro
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/autotune"
 	"repro/internal/bounds"
+	"repro/internal/models"
 )
 
 // TestFullPipeline walks the complete user journey end to end: query the
@@ -101,5 +103,46 @@ func TestFullPipeline(t *testing.T) {
 	b := arch.Explain(res.Counts, res.Launch)
 	if b.Total <= 0 || b.Bound == "" {
 		t.Errorf("diagnosis degenerate: %+v", b)
+	}
+}
+
+// TestNetworkDescriptionPipeline drives the service wire format through the
+// real tuner: a model inventory serialized to the JSON a client would POST,
+// parsed back, and tuned — with verdicts bit-identical to handing the tuner
+// the in-process layer tables directly. The wire format adds description,
+// never behavior.
+func TestNetworkDescriptionPipeline(t *testing.T) {
+	arch, err := ArchByName("V100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := models.SqueezeNet().NetworkLayers()[:4]
+	opts := NetworkTuneOptions{Budget: 12, Seed: 3, Winograd: true}
+
+	body, err := json.Marshal(DescribeNetwork(arch.Name, layers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := ParseNetworkDescription(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := TuneNetwork(arch, layers, NewTuningCache(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWire, err := TuneNetwork(arch, desc.NetworkLayers(), NewTuningCache(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaWire) != len(direct) {
+		t.Fatalf("verdict count differs: %d != %d", len(viaWire), len(direct))
+	}
+	for i := range direct {
+		if viaWire[i].Config != direct[i].Config || viaWire[i].M != direct[i].M ||
+			viaWire[i].Kind != direct[i].Kind {
+			t.Errorf("layer %d: wire verdict %+v != direct %+v", i, viaWire[i], direct[i])
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/conv"
 	"repro/internal/shapes"
@@ -34,6 +35,17 @@ type Cache struct {
 
 	flightMu sync.Mutex
 	flight   map[string]*flightCall
+
+	// Eviction/accounting state (see evict.go). policy is nil until
+	// SetEviction installs one; the counters run unconditionally — they are
+	// a handful of atomics, and the service's /healthz reports them.
+	policy    atomic.Pointer[EvictionPolicy]
+	clock     atomic.Int64 // logical LRU clock, bumped on every access
+	bytes     atomic.Int64 // approximate retained bytes over all entries
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	evictMu   sync.Mutex // serializes enforce sweeps
 }
 
 const cacheShards = 32
@@ -47,6 +59,7 @@ const cacheFormatVersion = 2
 type cacheShard struct {
 	mu      sync.RWMutex
 	entries map[string]CacheEntry
+	meta    map[string]*entryMeta
 }
 
 // flightCall is one in-progress tuning run other goroutines can wait on.
@@ -165,6 +178,7 @@ func NewCache() *Cache {
 	c := &Cache{flight: make(map[string]*flightCall)}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[string]CacheEntry)
+		c.shards[i].meta = make(map[string]*entryMeta)
 	}
 	return c
 }
@@ -214,21 +228,60 @@ func (c *Cache) shardFor(key string) *cacheShard {
 }
 
 func (c *Cache) put(key string, e CacheEntry) {
+	size := e.SizeBytes()
+	m := &entryMeta{size: size}
+	m.used.Store(c.clock.Add(1))
+	m.wall.Store(c.nowNanos())
 	sh := c.shardFor(key)
 	sh.mu.Lock()
+	if old := sh.meta[key]; old != nil {
+		c.bytes.Add(-old.size)
+	}
 	sh.entries[key] = e
+	sh.meta[key] = m
 	sh.mu.Unlock()
+	c.bytes.Add(size)
+	c.enforce()
 }
 
-// getEntry is the allocation-free raw lookup behind Get and State.
+// getEntry is the allocation-free raw lookup behind Get and State. A hit
+// bumps the entry's LRU clock; under a TTL policy an entry idle past the
+// TTL is evicted and reported as a miss, so a long-running service never
+// serves verdicts staler than its policy allows.
 func (c *Cache) getEntry(archName string, kind Kind, s shapes.ConvShape) (CacheEntry, bool) {
 	var kb [cacheKeyBuf]byte
 	key := appendCacheKey(kb[:0], archName, kind, s)
 	sh := &c.shards[shardIndex(key)]
+	// The eviction bookkeeping (recency clock, TTL stamp) is paid only
+	// when a policy is installed; the default unbounded cache keeps the
+	// bare map-hit lookup, plus one counter bump for Stats.
+	p := c.policy.Load()
 	sh.mu.RLock()
 	e, ok := sh.entries[string(key)]
+	var m *entryMeta
+	if ok && p != nil {
+		m = sh.meta[string(key)]
+	}
 	sh.mu.RUnlock()
-	return e, ok
+	if !ok {
+		c.misses.Add(1)
+		return CacheEntry{}, false
+	}
+	if m != nil {
+		if p.TTL > 0 && p.now().UnixNano()-m.wall.Load() > int64(p.TTL) {
+			c.expire(string(key), p)
+			c.misses.Add(1)
+			return CacheEntry{}, false
+		}
+		m.used.Store(c.clock.Add(1))
+		// The wall clock backs the TTL only; without one, skip the
+		// time.Now so the hot lookup stays a pair of atomic bumps.
+		if p.TTL > 0 {
+			m.wall.Store(p.now().UnixNano())
+		}
+	}
+	c.hits.Add(1)
+	return e, true
 }
 
 // Put stores a verdict-only tuning outcome.

@@ -1,0 +1,190 @@
+package autotune
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/conv"
+	"repro/internal/shapes"
+)
+
+// evictShape makes the i-th of a family of distinct valid shapes.
+func evictShape(i int) shapes.ConvShape {
+	return shapes.ConvShape{Batch: 1, Cin: 4 * (i + 1), Cout: 8, Hin: 8, Win: 8,
+		Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+}
+
+// The LRU property: inserting far more distinct keys than the cap leaves
+// the cache at or under the cap with every insert accounted for — each key
+// is either resident or was reported evicted, never both, never neither —
+// and the survivors are exactly a most-recently-used suffix of the insert
+// order (the logical LRU clock is strictly monotonic, so insert order is
+// usage order here).
+func TestEvictionLRUBoundsAndRecency(t *testing.T) {
+	const cap, inserts = 16, 50
+	c := NewCache()
+	var evicted []int
+	c.SetEviction(EvictionPolicy{MaxEntries: cap, OnEvict: func(e CacheEntry) {
+		// Seconds encodes the insert index (see the Put below).
+		evicted = append(evicted, int(e.Seconds))
+	}})
+
+	for i := 0; i < inserts; i++ {
+		c.Put(arch.Name, Direct, evictShape(i), conv.Config{}, Measurement{Seconds: float64(i), GFLOPS: 1})
+	}
+
+	if got := c.Len(); got > cap {
+		t.Fatalf("cache holds %d entries, cap is %d", got, cap)
+	}
+	if got := c.Len() + len(evicted); got != inserts {
+		t.Fatalf("%d resident + %d evicted = %d, want every one of %d inserts accounted for",
+			c.Len(), len(evicted), got, inserts)
+	}
+
+	// Survivors are the most-recent suffix: every evicted index is older
+	// than every resident one, and residency matches the partition exactly.
+	oldestSurvivor := inserts - c.Len()
+	for _, i := range evicted {
+		if i >= oldestSurvivor {
+			t.Errorf("evicted insert #%d although older insert #%d survived", i, oldestSurvivor)
+		}
+	}
+	for i := 0; i < inserts; i++ {
+		_, m, ok := c.Get(arch.Name, Direct, evictShape(i))
+		if want := i >= oldestSurvivor; ok != want {
+			t.Errorf("insert #%d resident=%v, want %v", i, ok, want)
+		} else if ok && int(m.Seconds) != i {
+			t.Errorf("insert #%d answered with insert #%d's verdict", i, int(m.Seconds))
+		}
+	}
+
+	// Byte accounting must agree with the survivors' own size model.
+	var want int64
+	for i := oldestSurvivor; i < inserts; i++ {
+		want += CacheEntry{Arch: arch.Name, Kind: Direct.String()}.SizeBytes()
+	}
+	if got := c.SizeBytes(); got != want {
+		t.Errorf("SizeBytes() = %d, want %d (sum over residents)", got, want)
+	}
+
+	st := c.Stats()
+	if st.Entries != c.Len() || st.Evictions != int64(len(evicted)) {
+		t.Errorf("Stats() = %+v inconsistent with Len %d / evicted %d", st, c.Len(), len(evicted))
+	}
+}
+
+// A Get refreshes recency: a key read just before overflow must survive an
+// eviction round that removes colder, never-read keys inserted after it.
+func TestEvictionGetRefreshesRecency(t *testing.T) {
+	const cap = 8
+	c := NewCache()
+	c.SetEviction(EvictionPolicy{MaxEntries: cap})
+	for i := 0; i < cap; i++ {
+		c.Put(arch.Name, Direct, evictShape(i), conv.Config{}, Measurement{Seconds: 1, GFLOPS: 1})
+	}
+	// Touch the oldest key, then overflow by one: the victim must be the
+	// now-coldest key (#1), not the just-read #0 — without the Get, #0
+	// would have been first out.
+	if _, _, ok := c.Get(arch.Name, Direct, evictShape(0)); !ok {
+		t.Fatal("freshly inserted key missing")
+	}
+	c.Put(arch.Name, Direct, evictShape(cap), conv.Config{}, Measurement{Seconds: 1, GFLOPS: 1})
+	if _, _, ok := c.Get(arch.Name, Direct, evictShape(0)); !ok {
+		t.Error("recently read key was evicted ahead of colder ones")
+	}
+	if _, _, ok := c.Get(arch.Name, Direct, evictShape(1)); ok {
+		t.Error("coldest key survived the overflow")
+	}
+}
+
+// The TTL: under a fake clock, entries expire exactly when idle longer
+// than the policy says — lazily on lookup and in bulk via EvictExpired —
+// and a hit restarts an entry's idle clock.
+func TestEvictionTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	c := NewCache()
+	c.SetEviction(EvictionPolicy{TTL: time.Minute, Now: func() time.Time { return now }})
+
+	c.Put(arch.Name, Direct, evictShape(0), conv.Config{}, Measurement{Seconds: 1, GFLOPS: 1})
+	c.Put(arch.Name, Direct, evictShape(1), conv.Config{}, Measurement{Seconds: 1, GFLOPS: 1})
+
+	now = now.Add(50 * time.Second)
+	if _, _, ok := c.Get(arch.Name, Direct, evictShape(0)); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+
+	// Shape 0 was touched at t+50s, shape 1 not since t=0. At t+70s only
+	// shape 1 has been idle past the minute.
+	now = now.Add(20 * time.Second)
+	if n := c.EvictExpired(); n != 1 {
+		t.Fatalf("EvictExpired() = %d, want 1", n)
+	}
+	if _, _, ok := c.Get(arch.Name, Direct, evictShape(0)); !ok {
+		t.Error("touched entry was swept despite a fresh idle clock")
+	}
+	if _, _, ok := c.Get(arch.Name, Direct, evictShape(1)); ok {
+		t.Error("idle entry survived past its TTL")
+	}
+
+	// Lazy path: let the survivor go stale and look it up — the lookup
+	// itself must miss and drop it.
+	now = now.Add(2 * time.Minute)
+	if _, _, ok := c.Get(arch.Name, Direct, evictShape(0)); ok {
+		t.Error("stale entry served from a lookup")
+	}
+	if got := c.Len(); got != 0 {
+		t.Errorf("cache holds %d entries after everything expired, want 0", got)
+	}
+}
+
+// MaxBytes alone also bounds the cache, evicting in LRU order by the
+// entries' size model.
+func TestEvictionMaxBytes(t *testing.T) {
+	perEntry := CacheEntry{Arch: arch.Name, Kind: Direct.String()}.SizeBytes()
+	c := NewCache()
+	c.SetEviction(EvictionPolicy{MaxBytes: 10 * perEntry})
+	for i := 0; i < 40; i++ {
+		c.Put(arch.Name, Direct, evictShape(i), conv.Config{}, Measurement{Seconds: 1, GFLOPS: 1})
+	}
+	if got, cap := c.SizeBytes(), 10*perEntry; got > cap {
+		t.Errorf("SizeBytes() = %d, cap is %d", got, cap)
+	}
+	if c.Len() == 0 {
+		t.Error("byte cap evicted everything")
+	}
+}
+
+// Eviction is capacity management, not state: re-requesting an evicted key
+// re-runs the deterministic engine and reproduces the verdict bit for bit.
+func TestEvictedKeyRetunesIdentically(t *testing.T) {
+	opts := smallOpts(24, 9)
+	shape := evictShape(0)
+	sp, err := NewSpace(shape, arch, Direct, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := DirectMeasurer(arch, shape)
+
+	c := NewCache()
+	c.SetEviction(EvictionPolicy{MaxEntries: 4})
+	cfg1, m1, err := TuneCached(c, sp, measure, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Push the tuned key out with filler traffic, then prove it is gone.
+	for i := 1; i <= 16; i++ {
+		c.Put(arch.Name, Direct, evictShape(i), conv.Config{}, Measurement{Seconds: 1, GFLOPS: 1})
+	}
+	if _, _, ok := c.Get(arch.Name, Direct, shape); ok {
+		t.Fatal("tuned key survived the filler flood; eviction untested")
+	}
+
+	cfg2, m2, err := TuneCached(c, sp, measure, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg1 != cfg2 || m1 != m2 {
+		t.Errorf("re-tuned verdict differs: (%+v, %+v) != (%+v, %+v)", cfg2, m2, cfg1, m1)
+	}
+}

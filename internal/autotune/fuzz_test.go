@@ -1,0 +1,38 @@
+package autotune
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The cache loader parses untrusted bytes — a state file may come off a
+// shared filesystem or a half-written shutdown. The contract under fuzzing:
+// any input either loads or errors, never panics, and whatever loads
+// survives a save/reload round trip.
+func FuzzCacheLoad(f *testing.F) {
+	// Version-1 file: a bare entry array.
+	f.Add([]byte(`[{"arch":"V100","kind":"direct","shape":{"Batch":1,"Cin":16,"Hin":8,"Win":8,"Cout":8,"Hker":3,"Wker":3,"Stride":1,"Pad":1},"config":{"TileX":1,"TileY":1,"TileZ":1,"ThreadsX":8,"ThreadsY":8,"ThreadsZ":1,"SharedPerBlock":0,"Layout":0,"WinogradE":0},"seconds":0.001,"gflops":10}]`))
+	// Version-2 envelope with engine state.
+	f.Add([]byte(`{"version":2,"entries":[{"arch":"V100","kind":"winograd","shape":{"Batch":1,"Cin":16,"Hin":8,"Win":8,"Cout":8,"Hker":3,"Wker":3,"Stride":1,"Pad":1},"config":{"TileX":1,"TileY":1,"TileZ":1,"ThreadsX":8,"ThreadsY":8,"ThreadsZ":1,"SharedPerBlock":0,"Layout":0,"WinogradE":2},"seconds":0.002,"gflops":5,"rows":[{"config":{"TileX":1,"TileY":1,"TileZ":1,"ThreadsX":8,"ThreadsY":8,"ThreadsZ":1,"SharedPerBlock":0,"Layout":0,"WinogradE":2},"seconds":0.002,"gflops":5,"ok":true}],"curve":[5],"budget":4}]}`))
+	// Malformed variants the loader must reject gracefully.
+	f.Add([]byte(`{"version":3,"entries":[]}`))
+	f.Add([]byte(`[{"arch":"V100","kind":"im2col"}]`))
+	f.Add([]byte(`[{"arch":"V100","kind":"direct","seconds":-1}]`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCache()
+		if err := c.Load(bytes.NewReader(data)); err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := c.Save(&out); err != nil {
+			t.Fatalf("loaded cache failed to save: %v", err)
+		}
+		if err := NewCache().Load(bytes.NewReader(out.Bytes())); err != nil {
+			t.Fatalf("saved cache failed to reload: %v", err)
+		}
+	})
+}

@@ -121,6 +121,13 @@ type Options struct {
 	// configurations from related layers, and/or this key's own persisted
 	// history to resume from. nil reproduces the cold engine bit-for-bit.
 	Warm *WarmStart
+	// OnMeasure, when non-nil, is called once per fresh measurement, after
+	// its outcome is booked. Replayed history and bound-pruned candidates
+	// do not count. The tuning service uses it to account measurement work
+	// across concurrent requests; it must be cheap and safe for concurrent
+	// use, and it must not influence the search (the engine's outputs are
+	// identical with or without it).
+	OnMeasure func()
 }
 
 // DefaultOptions are sensible mid-size tuning settings.
@@ -319,6 +326,9 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 		for i, c := range batch {
 			m, ok := resultBuf[i].m, resultBuf[i].ok
 			rec.add(c, m, ok)
+			if opts.OnMeasure != nil {
+				opts.OnMeasure()
+			}
 			cost := 20.0 // a large log-cost for failed configs
 			if ok {
 				cost = math.Log(m.Seconds)

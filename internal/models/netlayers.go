@@ -1,0 +1,30 @@
+package models
+
+import "repro/internal/autotune"
+
+// This file is the shared network-fixture seam: every harness that feeds a
+// model inventory to the network tuner — the root benchmarks, the example
+// programs, the service's end-to-end suite — converts through here instead
+// of hand-rolling its own Layer -> NetworkLayer loop over a duplicated
+// table.
+
+// NetworkLayers converts the model's inventory into the network tuner's
+// request type.
+func (m Model) NetworkLayers() []autotune.NetworkLayer {
+	out := make([]autotune.NetworkLayer, len(m.Layers))
+	for i, l := range m.Layers {
+		out[i] = autotune.NetworkLayer{Name: l.Name, Shape: l.Shape, Repeat: l.Repeat}
+	}
+	return out
+}
+
+// NetworkLayers converts a grouped model's inventory into the network
+// tuner's request type, folding each layer's groups into the batch
+// dimension (EffectiveShape) the way the tuner expects.
+func (m GroupedModel) NetworkLayers() []autotune.NetworkLayer {
+	out := make([]autotune.NetworkLayer, len(m.Layers))
+	for i, l := range m.Layers {
+		out[i] = autotune.NetworkLayer{Name: l.Name, Shape: l.EffectiveShape(), Repeat: l.Repeat}
+	}
+	return out
+}

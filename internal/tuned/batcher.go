@@ -1,0 +1,126 @@
+package tuned
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/autotune"
+	"repro/internal/memsim"
+)
+
+// The batcher is how strangers' layers warm-start each other. Requests
+// admitted within one admission window are collected and — per group of
+// compatible tuning options — merged into a single TuneNetwork call: the
+// concatenated layer list deduplicates identical shapes across callers
+// (identical concurrent requests collapse to one search), and with
+// warm-starting enabled every network in the batch draws on one shared
+// transfer pool, so a layer family one client already paid to tune cold
+// warm-starts every other client's members of that family. Each request
+// gets back exactly its own slice of the merged verdict list.
+
+// tuneJob is one admitted request waiting on its batch.
+type tuneJob struct {
+	key    groupKey
+	arch   memsim.Arch
+	layers []autotune.NetworkLayer
+	opts   autotune.NetworkOptions
+
+	verdicts []autotune.LayerVerdict
+	err      error
+	done     chan struct{}
+}
+
+// groupKey identifies the requests of a batch that may legally merge into
+// one TuneNetwork call: same architecture and same per-layer engine
+// options. Merging across differing options would change verdicts (the
+// engine is deterministic in them), so each distinct key tunes separately.
+type groupKey struct {
+	arch     string
+	budget   int
+	seed     int64
+	winograd bool
+}
+
+// batcher collects jobs for one admission window, then hands the whole
+// round to run. The window opens when the first job of a round arrives, so
+// an idle server adds at most window of latency and a busy one amortizes
+// the model-transfer benefit across everything that arrived meanwhile. A
+// zero window degenerates to one batch per request.
+type batcher struct {
+	window time.Duration
+	run    func([]*tuneJob)
+
+	mu      sync.Mutex
+	pending []*tuneJob
+	armed   bool
+}
+
+func newBatcher(window time.Duration, run func([]*tuneJob)) *batcher {
+	return &batcher{window: window, run: run}
+}
+
+// submit enqueues a job and arms the round timer if this job opened the
+// round. The job's done channel closes when its batch finishes.
+func (b *batcher) submit(j *tuneJob) {
+	b.mu.Lock()
+	b.pending = append(b.pending, j)
+	arm := !b.armed
+	if arm {
+		b.armed = true
+	}
+	b.mu.Unlock()
+	if arm {
+		time.AfterFunc(b.window, b.flush)
+	}
+}
+
+// flush closes the current round and runs it.
+func (b *batcher) flush() {
+	b.mu.Lock()
+	jobs := b.pending
+	b.pending = nil
+	b.armed = false
+	b.mu.Unlock()
+	if len(jobs) > 0 {
+		b.run(jobs)
+	}
+}
+
+// groupJobs partitions a round into its mergeable groups, preserving
+// arrival order within each group (the order decides which layer of a
+// family tunes cold as the warm schedule's representative, so it must be
+// the deterministic concatenation order).
+func groupJobs(jobs []*tuneJob) [][]*tuneJob {
+	idx := make(map[groupKey]int)
+	var groups [][]*tuneJob
+	for _, j := range jobs {
+		i, ok := idx[j.key]
+		if !ok {
+			i = len(groups)
+			idx[j.key] = i
+			groups = append(groups, nil)
+		}
+		groups[i] = append(groups[i], j)
+	}
+	return groups
+}
+
+// runGroup merges one group's layer lists, tunes the union in a single
+// TuneNetwork call against cache, and hands each job its own verdicts.
+func runGroup(cache *autotune.Cache, group []*tuneJob) {
+	var merged []autotune.NetworkLayer
+	for _, j := range group {
+		merged = append(merged, j.layers...)
+	}
+	verdicts, err := autotune.TuneNetwork(group[0].arch, merged, cache, group[0].opts)
+	off := 0
+	for _, j := range group {
+		if err != nil {
+			j.err = err
+		} else {
+			j.verdicts = verdicts[off : off+len(j.layers)]
+		}
+		off += len(j.layers)
+		close(j.done)
+	}
+}

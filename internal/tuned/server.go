@@ -1,0 +1,292 @@
+package tuned
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/autotune"
+	"repro/internal/memsim"
+)
+
+// Config configures a Server. The zero value is served with defaults:
+// fresh cache, engine default options, warm-starting on, a 20ms admission
+// window, no admission cap, no persistence.
+type Config struct {
+	// Cache is the verdict store and dedup point; nil makes a fresh one.
+	// Install an autotune.EvictionPolicy on it (or via cmd/tuned's flags)
+	// for the bounded long-running regime.
+	Cache *autotune.Cache
+	// Tune holds the per-layer engine defaults; requests may override
+	// Budget and Seed within the wire limits. A zero value uses
+	// autotune.DefaultOptions.
+	Tune autotune.Options
+	// LayerWorkers is how many deduplicated searches of one batch tune
+	// concurrently (default GOMAXPROCS, see autotune.NetworkOptions).
+	LayerWorkers int
+	// Winograd is the default for also tuning the fused Winograd dataflow
+	// where it applies (requests may override).
+	Winograd bool
+	// Warm enables cross-request warm-starting through the batcher's
+	// merged transfer pool.
+	Warm bool
+	// Resume re-enters cached searches whose persisted state is shorter
+	// than the requested budget instead of returning them as-is.
+	Resume bool
+	// BatchWindow is the admission window: requests arriving within it
+	// merge into one tuning batch. 0 means one batch per request.
+	BatchWindow time.Duration
+	// MaxInflight caps the summed worst-case fresh-measurement budget of
+	// admitted requests; beyond it, requests get 429 + Retry-After
+	// (0 = unlimited).
+	MaxInflight int64
+	// StatePath, when set, is the cache state file: loaded on New (if it
+	// exists) and flushed by Close — the crash/restart persistence seam.
+	StatePath string
+	// BenchPath, when set, is the benchmark trajectory JSON served by
+	// GET /v1/bench (cmd/tuned points it at BENCH_autotune.json).
+	BenchPath string
+}
+
+// Server is the tuning service: an http.Handler plus the shared tuning
+// state behind it.
+type Server struct {
+	cfg   Config
+	cache *autotune.Cache
+	batch *batcher
+	adm   *admission
+	mux   *http.ServeMux
+	start time.Time
+
+	closed   atomic.Bool
+	measured atomic.Int64 // fresh measurements performed since boot
+	requests atomic.Int64 // POST /v1/tune requests accepted for tuning
+	rejected atomic.Int64 // requests shed by admission control
+	batches  atomic.Int64 // tuning batches run
+}
+
+// New builds a Server, loading persisted cache state from cfg.StatePath if
+// the file exists.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		cfg.Cache = autotune.NewCache()
+	}
+	if cfg.Tune.Budget == 0 {
+		def := autotune.DefaultOptions()
+		def.MeasureLatency = cfg.Tune.MeasureLatency
+		def.Workers = cfg.Tune.Workers
+		cfg.Tune = def
+	}
+	s := &Server{cfg: cfg, cache: cfg.Cache, adm: newAdmission(cfg.MaxInflight), start: time.Now()}
+	// Every fresh measurement of every request funnels through this hook;
+	// it is the denominator of the dedup story (/healthz reports it, the
+	// e2e suite pins it).
+	prev := cfg.Tune.OnMeasure
+	s.cfg.Tune.OnMeasure = func() {
+		s.measured.Add(1)
+		if prev != nil {
+			prev()
+		}
+	}
+	if cfg.StatePath != "" {
+		if err := s.cache.LoadFile(cfg.StatePath); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("tuned: state %s: %w", cfg.StatePath, err)
+		}
+	}
+	s.batch = newBatcher(cfg.BatchWindow, s.runBatch)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tune", s.handleTune)
+	mux.HandleFunc("GET /v1/bench", s.handleBench)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP makes the server mountable directly into httptest and
+// http.Server.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close flushes the cache state (verdicts plus engine state, format v2) to
+// StatePath, so the next boot resumes where this process stopped. It is
+// the graceful-shutdown half of the persistence seam; call it after the
+// HTTP server has drained.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	if s.cfg.StatePath == "" {
+		return nil
+	}
+	return s.cache.SaveFile(s.cfg.StatePath)
+}
+
+// Measurements reports the fresh measurements performed since boot.
+func (s *Server) Measurements() int64 { return s.measured.Load() }
+
+// runBatch tunes one admission round: per mergeable group, one TuneNetwork
+// call over the concatenated layers. Groups run concurrently — they share
+// nothing but the (concurrency-safe) cache.
+func (s *Server) runBatch(jobs []*tuneJob) {
+	s.batches.Add(1)
+	groups := groupJobs(jobs)
+	done := make(chan struct{}, len(groups))
+	for _, g := range groups {
+		g := g
+		go func() {
+			runGroup(s.cache, g)
+			done <- struct{}{}
+		}()
+	}
+	for range groups {
+		<-done
+	}
+	s.cache.EvictExpired()
+}
+
+// errJSON writes a JSON error body with the given status.
+func errJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBody bounds POST bodies; a maximal description (512 layers)
+// is well under 1 MiB.
+const maxRequestBody = 1 << 20
+
+// handleTune is POST /v1/tune: decode and validate the network
+// description, pass admission, join the current batch, answer with the
+// verdicts.
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		errJSON(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		errJSON(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	desc, err := repro.ParseNetworkDescription(body)
+	if err != nil {
+		errJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	arch, err := memsim.ByName(desc.Arch)
+	if err != nil {
+		errJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	layers := desc.NetworkLayers()
+	opts, winograd := s.requestOptions(desc.Options)
+
+	cost := admissionCost(s.cache, arch, layers, opts.Budget, winograd)
+	if !s.adm.acquire(cost) {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
+		errJSON(w, http.StatusTooManyRequests,
+			"measurement budget exhausted (%d in flight, limit %d); retry later",
+			s.adm.load(), s.cfg.MaxInflight)
+		return
+	}
+	defer s.adm.release(cost)
+	s.requests.Add(1)
+
+	job := &tuneJob{
+		key:  groupKey{arch: arch.Name, budget: opts.Budget, seed: opts.Seed, winograd: winograd},
+		arch: arch, layers: layers,
+		opts: autotune.NetworkOptions{Tune: opts, Workers: s.cfg.LayerWorkers,
+			Winograd: winograd, Warm: s.cfg.Warm, Resume: s.cfg.Resume},
+		done: make(chan struct{}),
+	}
+	s.batch.submit(job)
+	<-job.done
+	if job.err != nil {
+		errJSON(w, http.StatusInternalServerError, "%v", job.err)
+		return
+	}
+	resp := repro.TuneResponse{Arch: arch.Name,
+		Verdicts:       repro.DescribeVerdicts(job.verdicts),
+		NetworkSeconds: autotune.NetworkSeconds(job.verdicts)}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// requestOptions resolves a request's overrides against the server
+// defaults.
+func (s *Server) requestOptions(o *repro.RequestOptions) (autotune.Options, bool) {
+	opts := s.cfg.Tune
+	winograd := s.cfg.Winograd
+	if o != nil {
+		if o.Budget > 0 {
+			opts.Budget = o.Budget
+		}
+		if o.Seed != 0 {
+			opts.Seed = o.Seed
+		}
+		if o.Winograd != nil {
+			winograd = *o.Winograd
+		}
+	}
+	return opts, winograd
+}
+
+// retryAfterSeconds estimates how long a shed client should back off: the
+// in-flight measurement budget times the emulated per-measurement
+// round-trip, floored at one second.
+func (s *Server) retryAfterSeconds() int64 {
+	est := time.Duration(s.adm.load()) * s.cfg.Tune.MeasureLatency
+	secs := int64(est / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// handleBench is GET /v1/bench: the benchmark trajectory JSON
+// (BENCH_autotune.json), the same artifact CI archives per commit.
+func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.BenchPath == "" {
+		errJSON(w, http.StatusNotFound, "no benchmark trajectory configured")
+		return
+	}
+	data, err := os.ReadFile(s.cfg.BenchPath)
+	if err != nil {
+		errJSON(w, http.StatusNotFound, "benchmark trajectory: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// Health is the /healthz body: liveness plus the cache and admission
+// counters that make the dedup/eviction story observable.
+type Health struct {
+	OK             bool                `json:"ok"`
+	UptimeSeconds  float64             `json:"uptime_seconds"`
+	Cache          autotune.CacheStats `json:"cache"`
+	InflightBudget int64               `json:"inflight_budget"`
+	Measurements   int64               `json:"measurements"`
+	Requests       int64               `json:"requests"`
+	Rejected       int64               `json:"rejected"`
+	Batches        int64               `json:"batches"`
+}
+
+// handleHealth is GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		OK:             !s.closed.Load(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Cache:          s.cache.Stats(),
+		InflightBudget: s.adm.load(),
+		Measurements:   s.measured.Load(),
+		Requests:       s.requests.Load(),
+		Rejected:       s.rejected.Load(),
+		Batches:        s.batches.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}

@@ -1,0 +1,442 @@
+package tuned
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/autotune"
+	"repro/internal/memsim"
+	"repro/internal/models"
+	"repro/internal/shapes"
+)
+
+// The end-to-end suite: the daemon's three load-bearing properties —
+// cross-client dedup, cross-network transfer, restart replay — proved over
+// real HTTP against a live handler, under -race in CI.
+
+var testArch = memsim.V100
+
+// tinyOpts mirrors the engine tests' small-but-real search options.
+func tinyOpts(budget int, seed int64) autotune.Options {
+	return autotune.Options{Budget: budget, BatchSize: 4, Walkers: 4, WalkSteps: 12, Patience: 0, Seed: seed}
+}
+
+// newTestServer boots a Server behind httptest and arranges teardown.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// postTune POSTs a description and decodes the response, reporting the
+// HTTP status alongside.
+func postTune(t *testing.T, url string, desc repro.NetworkDescription) (repro.TuneResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr repro.TuneResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return tr, resp.StatusCode
+}
+
+// getHealth fetches and decodes /healthz.
+func getHealth(t *testing.T, url string) Health {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// countMeasurements runs TuneNetwork directly with an instrumented
+// OnMeasure, returning the verdicts and the fresh-measurement count — the
+// ground truth the server's counters are compared against.
+func countMeasurements(t *testing.T, layers []autotune.NetworkLayer, opts autotune.NetworkOptions) ([]autotune.LayerVerdict, int64) {
+	t.Helper()
+	var n atomic.Int64
+	opts.Tune.OnMeasure = func() { n.Add(1) }
+	verdicts, err := autotune.TuneNetwork(testArch, layers, autotune.NewCache(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return verdicts, n.Load()
+}
+
+// K concurrent clients POST the same ResNet-18: every response must be
+// bit-identical to a direct in-process TuneNetwork call with the same
+// options, and the server must have measured exactly as many fresh
+// configurations as that single direct call — the batcher merge and the
+// cache's singleflight together collapse all K requests onto one search
+// per layer family member, no matter how the requests interleave.
+func TestServerConcurrentIdenticalRequests(t *testing.T) {
+	const clients = 6
+	opts := tinyOpts(16, 7)
+	srv, ts := newTestServer(t, Config{
+		Tune: opts, Winograd: true, Warm: true, BatchWindow: 100 * time.Millisecond,
+	})
+
+	layers := models.ResNet18().NetworkLayers()
+	desc := repro.DescribeNetwork(testArch.Name, layers)
+
+	var wg sync.WaitGroup
+	responses := make([]repro.TuneResponse, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, status := postTune(t, ts.URL, desc)
+			if status != http.StatusOK {
+				t.Errorf("client %d: status %d", i, status)
+				return
+			}
+			responses[i] = tr
+		}(i)
+	}
+	wg.Wait()
+
+	// The Shared flag reports whether a verdict ran its own search here,
+	// which legitimately depends on how the requests interleaved; every
+	// other byte of every response must agree.
+	normalize := func(tr repro.TuneResponse) repro.TuneResponse {
+		out := tr
+		out.Verdicts = append([]repro.VerdictDescription(nil), tr.Verdicts...)
+		for i := range out.Verdicts {
+			out.Verdicts[i].Shared = false
+		}
+		return out
+	}
+	for i := 1; i < clients; i++ {
+		if !reflect.DeepEqual(normalize(responses[i]), normalize(responses[0])) {
+			t.Fatalf("client %d response differs from client 0", i)
+		}
+	}
+
+	direct, directCount := countMeasurements(t, layers,
+		autotune.NetworkOptions{Tune: opts, Winograd: true, Warm: true})
+	want := repro.DescribeVerdicts(direct)
+	for i, v := range responses[0].Verdicts {
+		got := v
+		got.Shared = want[i].Shared // sharing depends on request interleaving
+		if got != want[i] {
+			t.Errorf("verdict %d: server %+v != direct %+v", i, v, want[i])
+		}
+	}
+	if got := srv.Measurements(); got != directCount {
+		t.Errorf("server measured %d fresh configs across %d clients, direct run measured %d",
+			got, clients, directCount)
+	}
+
+	h := getHealth(t, ts.URL)
+	if h.Requests != clients || h.Measurements != directCount || !h.OK {
+		t.Errorf("healthz = %+v, want %d requests, %d measurements, ok", h, clients, directCount)
+	}
+}
+
+// netStem is the layer the two distinct test networks share.
+func netStem() autotune.NetworkLayer {
+	return autotune.NetworkLayer{Name: "stem", Repeat: 1, Shape: shapes.ConvShape{
+		Batch: 1, Cin: 16, Cout: 16, Hin: 28, Win: 28, Hker: 3, Wker: 3, Strid: 1, Pad: 1}}
+}
+
+func netA() []autotune.NetworkLayer {
+	return []autotune.NetworkLayer{
+		netStem(),
+		{Name: "a1", Repeat: 2, Shape: shapes.ConvShape{
+			Batch: 1, Cin: 32, Cout: 32, Hin: 14, Win: 14, Hker: 3, Wker: 3, Strid: 1, Pad: 1}},
+	}
+}
+
+func netB() []autotune.NetworkLayer {
+	return []autotune.NetworkLayer{
+		netStem(),
+		{Name: "b1", Repeat: 1, Shape: shapes.ConvShape{
+			Batch: 1, Cin: 64, Cout: 64, Hin: 7, Win: 7, Hker: 3, Wker: 3, Strid: 1, Pad: 1}},
+	}
+}
+
+// Two distinct networks POSTed concurrently merge into one transfer pool:
+// the total fresh measurements come in under two cold sweeps (their shared
+// stem tunes once, not twice), and each network's tuned end-to-end time is
+// no worse than its own cold sweep — transfer only adds information.
+func TestServerDistinctNetworksShareTransferPool(t *testing.T) {
+	opts := tinyOpts(16, 11)
+	srv, ts := newTestServer(t, Config{
+		Tune: opts, Winograd: true, Warm: true, BatchWindow: 300 * time.Millisecond,
+	})
+
+	cold := autotune.NetworkOptions{Tune: opts, Winograd: true}
+	coldA, countA := countMeasurements(t, netA(), cold)
+	coldB, countB := countMeasurements(t, netB(), cold)
+
+	var wg sync.WaitGroup
+	var respA, respB repro.TuneResponse
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		tr, status := postTune(t, ts.URL, repro.DescribeNetwork(testArch.Name, netA()))
+		if status != http.StatusOK {
+			t.Errorf("net A: status %d", status)
+		}
+		respA = tr
+	}()
+	go func() {
+		defer wg.Done()
+		tr, status := postTune(t, ts.URL, repro.DescribeNetwork(testArch.Name, netB()))
+		if status != http.StatusOK {
+			t.Errorf("net B: status %d", status)
+		}
+		respB = tr
+	}()
+	wg.Wait()
+
+	if got, coldTotal := srv.Measurements(), countA+countB; got >= coldTotal {
+		t.Errorf("merged batch measured %d fresh configs, want fewer than the two cold sweeps' %d", got, coldTotal)
+	}
+	const tol = 1 + 1e-9
+	if ca := autotune.NetworkSeconds(coldA); respA.NetworkSeconds > ca*tol {
+		t.Errorf("net A tuned in batch: %.6g s/inference, worse than cold %.6g", respA.NetworkSeconds, ca)
+	}
+	if cb := autotune.NetworkSeconds(coldB); respB.NetworkSeconds > cb*tol {
+		t.Errorf("net B tuned in batch: %.6g s/inference, worse than cold %.6g", respB.NetworkSeconds, cb)
+	}
+}
+
+// Shutdown flushes the cache with engine state; a rebooted server answers
+// the same request from the replayed state with zero fresh measurements,
+// every verdict marked shared and bit-identical to the first run.
+func TestServerRestartReplaysWithoutMeasuring(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "tuned.cache")
+	opts := tinyOpts(12, 5)
+	layers := netA()
+	desc := repro.DescribeNetwork(testArch.Name, layers)
+
+	srv1, ts1 := newTestServer(t, Config{
+		Tune: opts, Winograd: true, Warm: true, Resume: true, StatePath: state,
+	})
+	first, status := postTune(t, ts1.URL, desc)
+	if status != http.StatusOK {
+		t.Fatalf("first boot: status %d", status)
+	}
+	if srv1.Measurements() == 0 {
+		t.Fatal("first boot measured nothing; the replay proof below would be vacuous")
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("flush state: %v", err)
+	}
+
+	// A closed server refuses new work.
+	if _, status := postTune(t, ts1.URL, desc); status != http.StatusServiceUnavailable {
+		t.Errorf("closed server: status %d, want 503", status)
+	}
+
+	srv2, ts2 := newTestServer(t, Config{
+		Tune: opts, Winograd: true, Warm: true, Resume: true, StatePath: state,
+	})
+	second, status := postTune(t, ts2.URL, desc)
+	if status != http.StatusOK {
+		t.Fatalf("second boot: status %d", status)
+	}
+	if got := srv2.Measurements(); got != 0 {
+		t.Errorf("rebooted server measured %d fresh configs, want 0 (pure replay)", got)
+	}
+	for i, v := range second.Verdicts {
+		if !v.Shared {
+			t.Errorf("verdict %d (%s) not marked shared after restart", i, v.Layer)
+		}
+		want := first.Verdicts[i]
+		want.Shared = v.Shared // first boot tuned fresh; sharing differs by design
+		if v != want {
+			t.Errorf("verdict %d changed across restart: %+v != %+v", i, v, want)
+		}
+	}
+	if second.NetworkSeconds != first.NetworkSeconds {
+		t.Errorf("network seconds changed across restart: %g != %g",
+			second.NetworkSeconds, first.NetworkSeconds)
+	}
+}
+
+// Admission control: with the in-flight measurement budget exactly
+// consumed by a slow request, a concurrent distinct request is shed with
+// 429 + Retry-After, and admitted once the budget frees up.
+func TestServerAdmissionControl(t *testing.T) {
+	opts := tinyOpts(8, 3)
+	opts.Workers = 1
+	opts.MeasureLatency = 20 * time.Millisecond
+	_, ts := newTestServer(t, Config{
+		Tune: opts, Winograd: false, MaxInflight: 8,
+	})
+
+	descA := repro.DescribeNetwork(testArch.Name, netA()[:1])
+	descB := repro.DescribeNetwork(testArch.Name, netB()[1:])
+
+	done := make(chan int, 1)
+	go func() {
+		_, status := postTune(t, ts.URL, descA)
+		done <- status
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for getHealth(t, ts.URL).InflightBudget == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request A never showed up in the in-flight budget")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	body, _ := json.Marshal(descB)
+	resp, err := http.Post(ts.URL+"/v1/tune", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request B while budget exhausted: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q, want an integer >= 1", ra)
+	}
+
+	if status := <-done; status != http.StatusOK {
+		t.Fatalf("request A: status %d", status)
+	}
+	if _, status := postTune(t, ts.URL, descB); status != http.StatusOK {
+		t.Fatalf("request B after budget freed: status %d, want 200", status)
+	}
+	if h := getHealth(t, ts.URL); h.Rejected != 1 || h.InflightBudget != 0 {
+		t.Errorf("healthz = %+v, want exactly 1 rejection and an empty budget", h)
+	}
+}
+
+// Cached keys cost no admission budget: a request the cache already
+// answers passes even while the budget is fully consumed — it triggers no
+// measurements, so there is nothing to shed.
+func TestServerAdmissionCachedRequestIsFree(t *testing.T) {
+	opts := tinyOpts(8, 3)
+	srv, ts := newTestServer(t, Config{Tune: opts, Winograd: false, MaxInflight: 8})
+	desc := repro.DescribeNetwork(testArch.Name, netA()[:1])
+	if _, status := postTune(t, ts.URL, desc); status != http.StatusOK {
+		t.Fatalf("cold request: status %d", status)
+	}
+	// Occupy the whole budget, then re-request the cached network: cost 0,
+	// admitted anyway.
+	if !srv.adm.acquire(8) {
+		t.Fatal("could not reserve the idle budget")
+	}
+	defer srv.adm.release(8)
+	if _, status := postTune(t, ts.URL, desc); status != http.StatusOK {
+		t.Fatalf("cached request under full budget: status %d, want 200", status)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tune: tinyOpts(8, 1)})
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/tune", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed", `{"arch":"V100",`},
+		{"unknown field", `{"arch":"V100","layres":[]}`},
+		{"unknown arch", `{"arch":"H100","layers":[{"cin":16,"hin":8,"cout":16,"hker":3,"pad":1}]}`},
+		{"no layers", `{"arch":"V100","layers":[]}`},
+		{"invalid shape", `{"arch":"V100","layers":[{"cin":16,"hin":1,"cout":16,"hker":3}]}`},
+		{"trailing data", `{"arch":"V100","layers":[{"cin":16,"hin":8,"cout":16,"hker":3,"pad":1}]}{}`},
+	}
+	for _, c := range cases {
+		if got := post(c.body); got != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, got)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/tune"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /v1/tune: status %d, want 405", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/v1/nope"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /v1/nope: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+func TestServerBenchEndpoint(t *testing.T) {
+	_, tsNone := newTestServer(t, Config{Tune: tinyOpts(8, 1)})
+	if resp, err := http.Get(tsNone.URL + "/v1/bench"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("no bench path: status %d, want 404", resp.StatusCode)
+		}
+	}
+
+	bench := filepath.Join(t.TempDir(), "bench.json")
+	const payload = `{"benchmarks":[{"name":"BenchmarkTuneNetwork"}]}`
+	if err := os.WriteFile(bench, []byte(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Tune: tinyOpts(8, 1), BenchPath: bench})
+	resp, err := http.Get(ts.URL + "/v1/bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/bench: status %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != payload {
+		t.Errorf("bench body %q, want %q", buf.String(), payload)
+	}
+}

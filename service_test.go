@@ -1,0 +1,100 @@
+package repro
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// DescribeNetwork must be the exact inverse of NetworkLayers: a model's
+// inventory survives the trip onto the wire and back untouched.
+func TestNetworkDescriptionRoundTrip(t *testing.T) {
+	layers := models.ResNet18().NetworkLayers()
+	desc := DescribeNetwork("V100", layers)
+	data, err := json.Marshal(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseNetworkDescription(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := parsed.NetworkLayers()
+	if len(back) != len(layers) {
+		t.Fatalf("round trip changed layer count: %d != %d", len(back), len(layers))
+	}
+	for i := range layers {
+		if back[i] != layers[i] {
+			t.Errorf("layer %d changed: %+v != %+v", i, back[i], layers[i])
+		}
+	}
+	if parsed.Arch != "V100" {
+		t.Errorf("arch changed: %q", parsed.Arch)
+	}
+}
+
+// Omitted wire fields fill in like NewShape's common case.
+func TestNetworkDescriptionDefaults(t *testing.T) {
+	d, err := ParseNetworkDescription([]byte(`{"arch":"V100","layers":[{"cin":16,"hin":28,"cout":32,"hker":3,"pad":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Layers[0]
+	if l.Batch != 1 || l.Win != 28 || l.Wker != 3 || l.Stride != 1 || l.Repeat != 1 {
+		t.Errorf("defaults not filled: %+v", l)
+	}
+	if l.Name != "layer0" {
+		t.Errorf("default name %q, want layer0", l.Name)
+	}
+}
+
+func TestNetworkDescriptionRejections(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"missing arch", `{"layers":[{"cin":8,"hin":8,"cout":8,"hker":3,"pad":1}]}`, "missing arch"},
+		{"no layers", `{"arch":"V100","layers":[]}`, "no layers"},
+		{"unknown field", `{"arch":"V100","layres":[]}`, "unknown field"},
+		{"trailing data", `{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3,"pad":1}]} extra`, "trailing data"},
+		{"negative dim", `{"arch":"V100","layers":[{"cin":-8,"hin":8,"cout":8,"hker":3}]}`, "outside"},
+		{"oversized dim", `{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3,"repeat":70000}]}`, "outside"},
+		{"invalid shape", `{"arch":"V100","layers":[{"cin":8,"hin":1,"cout":8,"hker":3}]}`, "layer"},
+		{"oversized budget", `{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3,"pad":1}],"options":{"budget":100000}}`, "budget"},
+		{"not json", `hello`, "network description"},
+	}
+	for _, c := range cases {
+		_, err := ParseNetworkDescription([]byte(c.body))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// The layer-count cap guards the tuner from unbounded requests.
+func TestNetworkDescriptionLayerCap(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"arch":"V100","layers":[`)
+	for i := 0; i <= MaxDescriptionLayers; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(`{"cin":8,"hin":8,"cout":8,"hker":3,"pad":1}`)
+	}
+	b.WriteString(`]}`)
+	if _, err := ParseNetworkDescription([]byte(b.String())); err == nil {
+		t.Fatalf("accepted %d layers, cap is %d", MaxDescriptionLayers+1, MaxDescriptionLayers)
+	}
+}
+
+// Config wire form round-trips bit for bit.
+func TestConfigDescriptionRoundTrip(t *testing.T) {
+	c := Config{TileX: 4, TileY: 2, TileZ: 8, ThreadsX: 16, ThreadsY: 8, ThreadsZ: 1,
+		SharedPerBlock: 2048, Layout: 1, WinogradE: 4}
+	if got := DescribeConfig(c).Config(); got != c {
+		t.Errorf("config round trip changed: %+v != %+v", got, c)
+	}
+}
