@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/autotune"
+	"repro/internal/chaos"
 	"repro/internal/tuned"
 )
 
@@ -42,6 +43,16 @@ func main() {
 	layerWorkers := flag.Int("layer-workers", 0, "concurrent per-layer searches per batch (0 = GOMAXPROCS)")
 	winograd := flag.Bool("winograd", true, "also tune the fused Winograd dataflow where it applies")
 	warm := flag.Bool("warm", true, "warm-start searches from tuned relatives (cross-request transfer)")
+	requestTimeout := flag.Duration("request-timeout", 0, "deadline per tuning batch; past it, responses carry best-so-far verdicts marked partial (0 = none)")
+	snapshotInterval := flag.Duration("snapshot-interval", 0, "flush -state in the background this often, not only at shutdown (0 = shutdown only)")
+	measureRetries := flag.Int("measure-retries", 0, "measurement attempts per config before quarantine (0 or 1 = no retries)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base wait before a measurement retry; doubles per retry with seeded jitter")
+	retryBackoffMax := flag.Duration("retry-backoff-max", 0, "cap on the exponential retry backoff (0 = uncapped)")
+	noiseThreshold := flag.Float64("noise-threshold", 0, "re-measure readings within this relative fraction of the I/O-bound floor and take the median (0 = off)")
+	noiseMedian := flag.Int("noise-median", 0, "readings gathered by the noise defense before taking the median (default 3)")
+	chaosFailRate := flag.Float64("chaos-fail-rate", 0, "inject seeded transient measurement failures at this rate (testing only)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed of the fault-injection schedule")
+	chaosMaxConsecutive := flag.Int("chaos-max-consecutive", 2, "cap on injected consecutive failures per config (keep below -measure-retries)")
 	flag.Parse()
 
 	opts := autotune.DefaultOptions()
@@ -50,6 +61,13 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	opts.Retry = autotune.RetryPolicy{
+		MaxAttempts:    *measureRetries,
+		BackoffBase:    *retryBackoff,
+		BackoffMax:     *retryBackoffMax,
+		NoiseThreshold: *noiseThreshold,
+		MedianK:        *noiseMedian,
+	}
 
 	cache := autotune.NewCache()
 	if *cacheEntries > 0 || *cacheBytes > 0 || *cacheTTL > 0 {
@@ -61,14 +79,34 @@ func main() {
 		Cache: cache, Tune: opts,
 		LayerWorkers: *layerWorkers, Winograd: *winograd, Warm: *warm, Resume: *resume,
 		BatchWindow: *batchWindow, MaxInflight: *maxInflight,
-		StatePath: *state, BenchPath: *bench,
+		StatePath: *state, SnapshotInterval: *snapshotInterval,
+		RequestTimeout: *requestTimeout,
+		Chaos: chaos.Config{Seed: *chaosSeed, FailRate: *chaosFailRate,
+			MaxConsecutive: *chaosMaxConsecutive},
+		BenchPath: *bench,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// A tuning response can legitimately take minutes (the engine runs
+	// inside the request), so WriteTimeout must outlast the batch: with a
+	// request timeout it is that plus slack, otherwise generous. The read
+	// side is tight — requests are small JSON — so a slow or stalled client
+	// cannot hold a connection open indefinitely.
+	writeTimeout := 10 * time.Minute
+	if *requestTimeout > 0 {
+		writeTimeout = *requestTimeout + time.Minute
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 

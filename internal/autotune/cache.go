@@ -2,10 +2,13 @@ package autotune
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -64,11 +67,12 @@ type cacheShard struct {
 
 // flightCall is one in-progress tuning run other goroutines can wait on.
 type flightCall struct {
-	done chan struct{}
-	cfg  conv.Config
-	m    Measurement
-	hist []MeasuredConfig
-	err  error
+	done    chan struct{}
+	cfg     conv.Config
+	m       Measurement
+	hist    []MeasuredConfig
+	partial bool
+	err     error
 }
 
 // CacheEntry is one persisted tuning outcome. Rows and Curve are the
@@ -99,10 +103,27 @@ type CachedMeasurement struct {
 	OK      bool         `json:"ok"`
 }
 
-// cacheFile is the version-2 on-disk envelope.
+// cacheFile is the version-2 on-disk envelope. Checksum is an optional
+// integrity field (added within version 2 so older loaders, which ignore
+// unknown fields, still read new files): "crc32c:" plus the hex CRC-32C of
+// the compact JSON encoding of Entries. Go's shortest-roundtrip float
+// encoding makes decode→re-encode byte-stable, so the loader can recompute
+// the sum from the decoded entries without retaining the original bytes.
 type cacheFile struct {
-	Version int          `json:"version"`
-	Entries []CacheEntry `json:"entries"`
+	Version  int          `json:"version"`
+	Checksum string       `json:"checksum,omitempty"`
+	Entries  []CacheEntry `json:"entries"`
+}
+
+var crc32c = crc32.MakeTable(crc32.Castagnoli)
+
+// entriesChecksum is the integrity sum Save writes and Load verifies.
+func entriesChecksum(entries []CacheEntry) (string, error) {
+	body, err := json.Marshal(entries)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(body, crc32c)), nil
 }
 
 // cachedShape / cachedConfig mirror the internal structs with stable JSON
@@ -404,7 +425,9 @@ func (c *Cache) snapshot() map[string]CacheEntry {
 }
 
 // Save writes the cache as deterministic (key-sorted) JSON in the current
-// (version 2) envelope, engine state included where present.
+// (version 2) envelope, engine state included where present, with a
+// CRC-32C integrity checksum over the entries so a loader can tell torn or
+// bit-rotted state from a healthy file.
 func (c *Cache) Save(w io.Writer) error {
 	all := c.snapshot()
 	keys := make([]string, 0, len(all))
@@ -416,9 +439,13 @@ func (c *Cache) Save(w io.Writer) error {
 	for _, k := range keys {
 		ordered = append(ordered, all[k])
 	}
+	sum, err := entriesChecksum(ordered)
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(cacheFile{Version: cacheFormatVersion, Entries: ordered})
+	return enc.Encode(cacheFile{Version: cacheFormatVersion, Checksum: sum, Entries: ordered})
 }
 
 // Load merges entries from JSON previously written by Save. Both formats
@@ -445,29 +472,28 @@ func (c *Cache) Load(r io.Reader) error {
 		if f.Version != cacheFormatVersion {
 			return fmt.Errorf("autotune: unsupported cache format version %d (want %d)", f.Version, cacheFormatVersion)
 		}
+		if f.Checksum != "" {
+			// Files from pre-checksum writers carry no sum and load as
+			// before; a present sum must verify.
+			sum, err := entriesChecksum(f.Entries)
+			if err != nil {
+				return fmt.Errorf("autotune: cache checksum: %w", err)
+			}
+			if sum != f.Checksum {
+				return fmt.Errorf("autotune: cache checksum mismatch: file says %s, entries sum to %s", f.Checksum, sum)
+			}
+		}
 		entries = f.Entries
 	}
 	// Validate every entry before committing any: a file rejected with an
 	// error must leave the cache untouched, not partially populated.
 	keys := make([]string, len(entries))
 	for i, e := range entries {
-		s := e.Shape.shape()
-		if err := s.Validate(); err != nil {
-			return fmt.Errorf("autotune: cache entry for %s: %w", e.Arch, err)
-		}
-		kind, err := kindFromString(e.Kind)
+		key, err := e.validate()
 		if err != nil {
-			return fmt.Errorf("autotune: cache entry for %s %v: %w", e.Arch, s, err)
+			return err
 		}
-		// Persisted rows feed resumed incumbents and warm-pool log-costs; a
-		// successful row with a non-positive time would poison both (a zero
-		// incumbent prunes everything, log(0) is -Inf), so reject it here.
-		for j, r := range e.Rows {
-			if r.OK && !(r.Seconds > 0) {
-				return fmt.Errorf("autotune: cache entry for %s %v: row %d: non-positive seconds %v on a successful measurement", e.Arch, s, j, r.Seconds)
-			}
-		}
-		keys[i] = cacheKey(e.Arch, kind, s)
+		keys[i] = key
 	}
 	for i, e := range entries {
 		c.put(keys[i], e)
@@ -475,14 +501,60 @@ func (c *Cache) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile and LoadFile are path-based conveniences.
+// validate checks one entry's invariants — the per-entry half of Load's
+// checks, shared with the salvage path — and returns its cache key.
+func (e CacheEntry) validate() (string, error) {
+	s := e.Shape.shape()
+	if err := s.Validate(); err != nil {
+		return "", fmt.Errorf("autotune: cache entry for %s: %w", e.Arch, err)
+	}
+	kind, err := kindFromString(e.Kind)
+	if err != nil {
+		return "", fmt.Errorf("autotune: cache entry for %s %v: %w", e.Arch, s, err)
+	}
+	// Persisted rows feed resumed incumbents and warm-pool log-costs; a
+	// successful row with a non-positive time would poison both (a zero
+	// incumbent prunes everything, log(0) is -Inf), so reject it here.
+	for j, r := range e.Rows {
+		if r.OK && !(r.Seconds > 0) {
+			return "", fmt.Errorf("autotune: cache entry for %s %v: row %d: non-positive seconds %v on a successful measurement", e.Arch, s, j, r.Seconds)
+		}
+	}
+	return cacheKey(e.Arch, kind, s), nil
+}
+
+// SaveFile writes the cache to path atomically: the snapshot goes to a
+// temp file in the same directory, is fsynced, then renamed over path. A
+// crash at any point leaves either the previous complete file or the new
+// complete file — never a torn one — which is what makes the daemon's
+// timed background snapshots safe to take while serving traffic.
 func (c *Cache) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return c.Save(f)
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := c.Save(tmp); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
 }
 
 // LoadFile merges a cache file into c.
@@ -495,12 +567,114 @@ func (c *Cache) LoadFile(path string) error {
 	return c.Load(f)
 }
 
+// RecoverFile is the crash-tolerant LoadFile the daemon boots with. A
+// healthy file loads normally. A damaged one — torn mid-write by a crash,
+// truncated, or failing its checksum — is salvaged instead of rejected:
+// every individually-valid entry that can still be decoded from the prefix
+// is merged into the cache, and the damaged file is renamed to
+// path+".corrupt" (preserved for post-mortem, and out of the way so the
+// next snapshot starts clean). loaded is how many entries made it in;
+// salvaged reports that the salvage path ran. A missing file is not an
+// error: (0, false, nil) — a fresh daemon starts empty.
+func (c *Cache) RecoverFile(path string) (loaded int, salvaged bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if err := c.Load(bytes.NewReader(data)); err == nil {
+		n := 0
+		if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '[' {
+			var v1 []CacheEntry
+			if json.Unmarshal(trimmed, &v1) == nil {
+				n = len(v1)
+			}
+		} else {
+			var f cacheFile
+			if json.Unmarshal(data, &f) == nil {
+				n = len(f.Entries)
+			}
+		}
+		return n, false, nil
+	}
+	entries := salvageEntries(data)
+	for _, e := range entries {
+		key, verr := e.validate()
+		if verr != nil {
+			continue
+		}
+		c.put(key, e)
+		loaded++
+	}
+	if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+		return loaded, true, rerr
+	}
+	return loaded, true, nil
+}
+
+// salvageEntries decodes as many whole entries as possible from a damaged
+// cache file: it token-walks to the entries array (either format) and
+// decodes entry by entry until the corruption point. Per-entry validation
+// is the caller's job — a torn tail can truncate an entry into something
+// that still parses.
+func salvageEntries(data []byte) []CacheEntry {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	if trimmed[0] == '[' {
+		if _, err := dec.Token(); err != nil { // consume '['
+			return nil
+		}
+	} else {
+		tok, err := dec.Token()
+		if err != nil || tok != json.Delim('{') {
+			return nil
+		}
+		found := false
+		for !found && dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return nil
+			}
+			key, _ := keyTok.(string)
+			if key == "entries" {
+				tok, err := dec.Token()
+				if err != nil || tok != json.Delim('[') {
+					return nil
+				}
+				found = true
+				break
+			}
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return nil
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	var out []CacheEntry
+	for dec.More() {
+		var e CacheEntry
+		if err := dec.Decode(&e); err != nil {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
 // TuneCached returns the cached best for (arch, kind, shape) or runs the
 // engine and caches its verdict (with engine state, so the search can be
 // resumed or transferred from later). Concurrent callers with the same key
 // share one search.
 func TuneCached(cache *Cache, sp *Space, measure Measurer, opts Options) (conv.Config, Measurement, error) {
-	cfg, m, _, _, err := tuneShared(cache, sp, measure, opts, false)
+	cfg, m, _, _, _, err := tuneShared(context.Background(), cache, sp, liftMeasurer(measure), opts, false)
 	return cfg, m, err
 }
 
@@ -587,8 +761,11 @@ func convergedAt(curve []float64) int {
 // the persisted rows — and nil on plain cache hits, which stay
 // allocation-light. With resume set, a state-carrying cache entry whose
 // history is shorter than opts.Budget re-enters the engine warm instead
-// of short-circuiting.
-func tuneShared(cache *Cache, sp *Space, measure Measurer, opts Options, resume bool) (conv.Config, Measurement, bool, []MeasuredConfig, error) {
+// of short-circuiting. partial reports a search cut short by ctx (joined
+// waiters inherit the flag along with the verdict); the truncated trace is
+// still persisted — at its honest budget — so a repeat resume request
+// continues it.
+func tuneShared(ctx context.Context, cache *Cache, sp *Space, measure FallibleMeasurer, opts Options, resume bool) (conv.Config, Measurement, bool, []MeasuredConfig, bool, error) {
 	opts = opts.normalized()
 	// satisfied reports whether the cache alone answers this request. The
 	// persisted rows are decoded only on the resume path (where they decide
@@ -611,20 +788,20 @@ func tuneShared(cache *Cache, sp *Space, measure Measurer, opts Options, resume 
 		return e.Config.config(), Measurement{Seconds: e.Seconds, GFLOPS: e.GFLOPS}, nil, true
 	}
 	if cfg, m, hist, ok := satisfied(); ok {
-		return cfg, m, true, hist, nil
+		return cfg, m, true, hist, false, nil
 	}
 	key := cacheKey(sp.Arch.Name, sp.Kind, sp.Shape)
 	cache.flightMu.Lock()
 	if call, ok := cache.flight[key]; ok {
 		cache.flightMu.Unlock()
 		<-call.done
-		return call.cfg, call.m, true, call.hist, call.err
+		return call.cfg, call.m, true, call.hist, call.partial, call.err
 	}
 	// Re-check under the flight lock: a racing search may have completed —
 	// Put then delete its flight entry — between the check above and here.
 	if cfg, m, hist, ok := satisfied(); ok {
 		cache.flightMu.Unlock()
-		return cfg, m, true, hist, nil
+		return cfg, m, true, hist, false, nil
 	}
 	call := &flightCall{done: make(chan struct{})}
 	cache.flight[key] = call
@@ -633,9 +810,9 @@ func tuneShared(cache *Cache, sp *Space, measure Measurer, opts Options, resume 
 	if len(resumeHist) > 0 {
 		opts = withHistory(opts, resumeHist)
 	}
-	tr, err := Tune(sp, measure, opts)
+	tr, err := tuneFallible(ctx, sp, measure, opts)
 	if err == nil {
-		call.cfg, call.m, call.hist = tr.Best, tr.BestM, tr.History
+		call.cfg, call.m, call.hist, call.partial = tr.Best, tr.BestM, tr.History, tr.Partial
 		cache.PutTrace(sp.Arch.Name, sp.Kind, sp.Shape, tr)
 	}
 	call.err = err
@@ -643,5 +820,5 @@ func tuneShared(cache *Cache, sp *Space, measure Measurer, opts Options, resume 
 	cache.flightMu.Lock()
 	delete(cache.flight, key)
 	cache.flightMu.Unlock()
-	return call.cfg, call.m, false, call.hist, err
+	return call.cfg, call.m, false, call.hist, call.partial, err
 }

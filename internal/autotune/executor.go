@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,14 +55,30 @@ func measureAllInto(out []measured, measure Measurer, cfgs []conv.Config, worker
 // goroutines (serially for workers <= 1). It is the worker-pool primitive
 // shared by the measurement executor and the network-level tuner.
 func fanIndexed(n, workers int, fn func(int)) {
+	fanIndexedCtx(context.Background(), n, workers, fn)
+}
+
+// fanIndexedCtx is fanIndexed with cooperative cancellation: workers stop
+// claiming new indexes once ctx is done, and the number of completed calls
+// is returned. Because indexes are claimed from one monotonic counter and
+// every claimed index runs to completion, the completed set is always the
+// contiguous prefix 0 … done-1 — which is what lets a cancelled tuning
+// batch book a deterministic prefix of its outcomes and report a coherent
+// partial verdict instead of a hole-ridden one. An in-flight call is never
+// interrupted (a real device measurement cannot be recalled mid-run);
+// cancellation takes effect at the next claim.
+func fanIndexedCtx(ctx context.Context, n, workers int, fn func(int)) int {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return i
+			}
 			fn(i)
 		}
-		return
+		return n
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -70,6 +87,9 @@ func fanIndexed(n, workers int, fn func(int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -79,4 +99,25 @@ func fanIndexed(n, workers int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	done := int(next.Load())
+	if done > n {
+		done = n
+	}
+	return done
+}
+
+// sleepCtx waits for d, returning early (false) if ctx is cancelled first.
+// It is the interruptible wait behind retry backoff.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

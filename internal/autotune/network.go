@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -67,6 +68,12 @@ type NetworkOptions struct {
 	// Cached entries at or beyond the budget — and verdict-only entries —
 	// are returned as-is.
 	Resume bool
+	// WrapMeasurer, when non-nil, wraps each deduplicated search's measurer
+	// before the engine sees it — the seam the chaos fault injector (and
+	// any real fallible backend) plugs into. The (kind, shape) identify the
+	// search, letting a wrapper derive a per-search deterministic schedule.
+	// nil lifts the plain measurer into an error-free fallible one.
+	WrapMeasurer func(Kind, shapes.ConvShape, Measurer) FallibleMeasurer
 }
 
 // LayerVerdict is the tuning outcome of one network layer.
@@ -79,6 +86,11 @@ type LayerVerdict struct {
 	// satisfied from the cache or deduplicated onto another layer's search
 	// of an identical key.
 	Shared bool
+	// Partial is true when the search behind this verdict was cut short by
+	// the context (deadline or cancellation): Config/M are best-so-far, not
+	// converged. The truncated engine state is persisted at its honest
+	// budget, so a repeated request with Resume continues the search.
+	Partial bool
 }
 
 // netTask is one deduplicated (kind, shape) search of a network sweep.
@@ -89,11 +101,12 @@ type netTask struct {
 	measure Measurer
 	owner   int // first layer index that requested this search
 
-	cfg    conv.Config
-	m      Measurement
-	shared bool
-	hist   []MeasuredConfig
-	err    error
+	cfg     conv.Config
+	m       Measurement
+	shared  bool
+	partial bool
+	hist    []MeasuredConfig
+	err     error
 }
 
 // poolRowCap bounds the transferred training rows per pool family; beyond
@@ -230,6 +243,17 @@ func winogradDefaultE(k Kind) int {
 // skips already-tuned layers entirely (or resumes them, with opts.Resume)
 // and seeds the transfer pool from any persisted engine state.
 func TuneNetwork(arch memsim.Arch, layers []NetworkLayer, cache *Cache, opts NetworkOptions) ([]LayerVerdict, error) {
+	return TuneNetworkContext(context.Background(), arch, layers, cache, opts)
+}
+
+// TuneNetworkContext is TuneNetwork bounded by a context: when ctx is
+// cancelled or its deadline passes, every still-running (and not yet
+// started) search stops after its Section 5 seed measurements and reports
+// best-so-far, so the sweep returns a complete verdict list with the
+// truncated layers marked Partial instead of an error. Truncated engine
+// state is persisted at its honest budget; a repeated request with Resume
+// picks each search up where the deadline cut it.
+func TuneNetworkContext(ctx context.Context, arch memsim.Arch, layers []NetworkLayer, cache *Cache, opts NetworkOptions) ([]LayerVerdict, error) {
 	if len(layers) == 0 {
 		return nil, fmt.Errorf("autotune: no layers to tune")
 	}
@@ -285,7 +309,11 @@ func TuneNetwork(arch memsim.Arch, layers []NetworkLayer, cache *Cache, opts Net
 			if pool != nil {
 				to.Warm = pool.warmFor(familyOf(t.kind, t.shape))
 			}
-			t.cfg, t.m, t.shared, t.hist, t.err = tuneShared(cache, t.sp, t.measure, to, opts.Resume)
+			measure := liftMeasurer(t.measure)
+			if opts.WrapMeasurer != nil {
+				measure = opts.WrapMeasurer(t.kind, t.shape, t.measure)
+			}
+			t.cfg, t.m, t.shared, t.hist, t.partial, t.err = tuneShared(ctx, cache, t.sp, measure, to, opts.Resume)
 		})
 	}
 
@@ -330,13 +358,14 @@ func TuneNetwork(arch memsim.Arch, layers []NetworkLayer, cache *Cache, opts Net
 			return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, dt.err)
 		}
 		v := LayerVerdict{Layer: l, Kind: Direct, Config: dt.cfg, M: dt.m,
-			Shared: dt.shared || dt.owner != i}
+			Shared: dt.shared || dt.owner != i, Partial: dt.partial}
 		if wi := winoOf[i]; wi >= 0 {
 			// A failed Winograd search (e.g. no valid configuration for
 			// tiny spatial dims) leaves the direct verdict standing.
 			if wt := tasks[wi]; wt.err == nil && wt.m.Seconds < v.M.Seconds {
 				v.Kind, v.Config, v.M = Winograd, wt.cfg, wt.m
 				v.Shared = wt.shared || wt.owner != i
+				v.Partial = wt.partial
 			}
 		}
 		verdicts[i] = v

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -128,6 +129,18 @@ type Options struct {
 	// use, and it must not influence the search (the engine's outputs are
 	// identical with or without it).
 	OnMeasure func()
+	// Retry configures the fault-tolerant measurement pipeline (retry with
+	// backoff, quarantine, noisy-reading defense). The zero value with an
+	// error-free measurer reproduces the fault-oblivious engine
+	// bit-for-bit; see RetryPolicy.
+	Retry RetryPolicy
+	// OnRetry, when non-nil, is called once per transient-failure retry.
+	// Like OnMeasure it must be cheap, concurrency-safe and must not
+	// influence the search.
+	OnRetry func()
+	// OnQuarantine, when non-nil, is called once per configuration
+	// quarantined after Retry.MaxAttempts consecutive transient failures.
+	OnQuarantine func()
 }
 
 // DefaultOptions are sensible mid-size tuning settings.
@@ -180,6 +193,24 @@ type Trace struct {
 	// nothing to continue) from "this search ran out of a smaller budget"
 	// (resume with the remainder).
 	Budget int
+	// Partial marks a run cut short by context cancellation or deadline:
+	// Best/BestM are the best-so-far verdict, not the converged one. On a
+	// partial run Budget is lowered to Measurements, so a persisted trace
+	// resumes honestly — a repeated request continues the search instead of
+	// treating the truncated run as full coverage.
+	Partial bool
+	// Retries counts transient-failure measurement re-attempts (see
+	// Options.Retry); 0 on the default path.
+	Retries int
+	// Quarantined counts configurations abandoned after
+	// Retry.MaxAttempts consecutive transient failures. A quarantined
+	// config is booked as a failed measurement (alongside Pruned it is the
+	// other way a candidate leaves the run without a reading).
+	Quarantined int
+	// Remeasured counts the extra readings the noisy-reading defense took
+	// (they do not consume Budget: budget accounts configurations, not
+	// raw readings).
+	Remeasured int
 }
 
 // record is the shared bookkeeping of all strategies.
@@ -254,6 +285,29 @@ func (r *record) stale(patience int) bool {
 //     maintained by bounded max-heaps with recycled backing arrays
 //     instead of full sorts.
 func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
+	return TuneContext(context.Background(), sp, measure, opts)
+}
+
+// TuneContext is Tune bounded by a context: when ctx is cancelled or its
+// deadline passes, the run stops claiming new measurements (in-flight ones
+// finish — a device run cannot be recalled) and returns the best-so-far
+// verdict with Trace.Partial set instead of an error, provided at least one
+// valid configuration measured. The Section 5 seed configurations are
+// always measured, even under an already-expired context, so any run over a
+// space with valid seeds produces a verdict.
+func TuneContext(ctx context.Context, sp *Space, measure Measurer, opts Options) (*Trace, error) {
+	return tuneFallible(ctx, sp, liftMeasurer(measure), opts)
+}
+
+// TuneFallible is TuneContext over the error-aware measurement seam: the
+// measurer may report transient failures, which the engine retries,
+// backs off and quarantines per opts.Retry. See FallibleMeasurer and
+// RetryPolicy.
+func TuneFallible(ctx context.Context, sp *Space, measure FallibleMeasurer, opts Options) (*Trace, error) {
+	return tuneFallible(ctx, sp, measure, opts)
+}
+
+func tuneFallible(ctx context.Context, sp *Space, measure FallibleMeasurer, opts Options) (*Trace, error) {
 	opts = opts.normalized()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	rec := &record{trace: Trace{Method: "ate", Budget: opts.Budget}, minDelta: opts.MinDelta}
@@ -292,14 +346,22 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 		costs = append(costs, cost)
 	}
 
+	// res is the fault-tolerance pipeline around the measurer: retry with
+	// seeded backoff, quarantine, noisy-reading defense. With the zero
+	// RetryPolicy and an error-free measurer every run() is exactly one
+	// measure() call, so the default path is untouched.
+	res := newResilient(measure, sp, opts.Retry, opts.Seed)
+
 	// measureBatch dedups the candidates against everything measured so
 	// far, drops the ones the lower bound proves non-improving, truncates
 	// to the remaining budget, fans the survivors across the executor's
 	// workers, and books the outcomes in submission order. The batch and
-	// result buffers are reused across calls.
+	// result buffers are reused across calls. Under a cancelled batchCtx
+	// only the contiguous prefix of completed outcomes is booked (see
+	// fanIndexedCtx), keeping a partial trace coherent.
 	var batchBuf []conv.Config
-	var resultBuf []measured
-	measureBatch := func(cands []conv.Config) {
+	var resultBuf []outcome
+	measureBatch := func(batchCtx context.Context, cands []conv.Config) {
 		batch := batchBuf[:0]
 		for _, c := range cands {
 			if rec.trace.Measurements+len(batch) >= opts.Budget {
@@ -322,21 +384,43 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 			batch = append(batch, c)
 		}
 		batchBuf = batch
-		resultBuf = measureAllInto(resultBuf, measure, batch, opts.Workers, opts.MeasureLatency)
-		for i, c := range batch {
-			m, ok := resultBuf[i].m, resultBuf[i].ok
-			rec.add(c, m, ok)
+		if cap(resultBuf) < len(batch) {
+			resultBuf = make([]outcome, len(batch))
+		}
+		resultBuf = resultBuf[:len(batch)]
+		done := fanIndexedCtx(batchCtx, len(batch), opts.Workers, func(i int) {
+			if opts.MeasureLatency > 0 {
+				time.Sleep(opts.MeasureLatency)
+			}
+			resultBuf[i] = res.run(batchCtx, batch[i])
+		})
+		for i, c := range batch[:done] {
+			out := resultBuf[i]
+			rec.add(c, out.m, out.ok)
+			rec.trace.Retries += out.retries
+			rec.trace.Remeasured += out.remeasured
+			if out.quarantined {
+				rec.trace.Quarantined++
+				if opts.OnQuarantine != nil {
+					opts.OnQuarantine()
+				}
+			}
+			if opts.OnRetry != nil {
+				for r := 0; r < out.retries; r++ {
+					opts.OnRetry()
+				}
+			}
 			if opts.OnMeasure != nil {
 				opts.OnMeasure()
 			}
 			cost := 20.0 // a large log-cost for failed configs
-			if ok {
-				cost = math.Log(m.Seconds)
+			if out.ok {
+				cost = math.Log(out.m.Seconds)
 				if !offsetSet {
 					costOffset, offsetSet = cost, true
 				}
 				cost -= costOffset
-				top.push(scored{c, m.Seconds})
+				top.push(scored{c, out.m.Seconds})
 			}
 			addRow(c, cost)
 		}
@@ -398,7 +482,10 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	// transferred layer retire after a handful of measurements once the
 	// bound filter proves nothing sampled can beat its incumbent.
 	if !opts.NoSeeds {
-		measureBatch(sp.SeedConfigs())
+		// The seed batch runs unconditionally — even under an
+		// already-expired ctx — so a deadline-bounded run over a space with
+		// valid seeds always has a verdict to report.
+		measureBatch(context.Background(), sp.SeedConfigs())
 	}
 	seeded := false
 	if warm != nil && len(warm.Seeds) > 0 {
@@ -411,7 +498,7 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 		// Seeds that cannot land anywhere in this space inherit nothing;
 		// only an actually-snapped seed counts as a warm start below.
 		seeded = len(snapped) > 0
-		measureBatch(snapped)
+		measureBatch(ctx, snapped)
 	}
 	initRandom := 3 * opts.Walkers
 	if resume || transfer || seeded {
@@ -424,7 +511,7 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	for i := 0; i < initRandom; i++ {
 		initial = append(initial, sp.Sample(rng))
 	}
-	measureBatch(initial)
+	measureBatch(ctx, initial)
 
 	// Scratch reused across iterations: walker feature buffers, the ranking
 	// feature matrix (rows into one backing array), its predictions, and
@@ -437,10 +524,13 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 	var startsBuf, pickedBuf []scored
 	var candBuf []conv.Config
 	for rec.trace.Measurements < opts.Budget && !rec.stale(opts.Patience) {
+		if ctx.Err() != nil {
+			break // deadline or cancellation: report best-so-far below
+		}
 		if len(feats) == 0 {
 			// Degenerate budgets can reach the loop before any measurement
 			// (no seeds, zero initial randoms); feed the model one sample.
-			measureBatch([]conv.Config{sp.Sample(rng)})
+			measureBatch(ctx, []conv.Config{sp.Sample(rng)})
 			continue
 		}
 		if model == nil || len(feats) < warmStartRows || model.NumTrees()+updateRounds > maxForest {
@@ -530,10 +620,17 @@ func Tune(sp *Space, measure Measurer, opts Options) (*Trace, error) {
 		for _, s := range picked {
 			candBuf = append(candBuf, s.cfg)
 		}
-		measureBatch(candBuf)
+		measureBatch(ctx, candBuf)
 	}
 	if !rec.found {
 		return nil, fmt.Errorf("autotune: no valid configuration found in %d measurements", rec.trace.Measurements)
+	}
+	if ctx.Err() != nil && rec.trace.Measurements < opts.Budget {
+		// Cut short: the verdict is best-so-far, and the honest budget for a
+		// persisted trace is what actually ran — a repeat request resumes
+		// the search instead of trusting truncated coverage.
+		rec.trace.Partial = true
+		rec.trace.Budget = rec.trace.Measurements
 	}
 	return &rec.trace, nil
 }

@@ -1,6 +1,7 @@
 package tuned
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -107,12 +108,14 @@ func groupJobs(jobs []*tuneJob) [][]*tuneJob {
 
 // runGroup merges one group's layer lists, tunes the union in a single
 // TuneNetwork call against cache, and hands each job its own verdicts.
-func runGroup(cache *autotune.Cache, group []*tuneJob) {
+// ctx bounds the engine: past its deadline every still-running search
+// reports best-so-far and the verdicts come back marked Partial.
+func runGroup(ctx context.Context, cache *autotune.Cache, group []*tuneJob) {
 	var merged []autotune.NetworkLayer
 	for _, j := range group {
 		merged = append(merged, j.layers...)
 	}
-	verdicts, err := autotune.TuneNetwork(group[0].arch, merged, cache, group[0].opts)
+	verdicts, err := autotune.TuneNetworkContext(ctx, group[0].arch, merged, cache, group[0].opts)
 	off := 0
 	for _, j := range group {
 		if err != nil {

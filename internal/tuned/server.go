@@ -1,17 +1,21 @@
 package tuned
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/autotune"
+	"repro/internal/chaos"
 	"repro/internal/memsim"
+	"repro/internal/shapes"
 )
 
 // Config configures a Server. The zero value is served with defaults:
@@ -45,9 +49,26 @@ type Config struct {
 	// admitted requests; beyond it, requests get 429 + Retry-After
 	// (0 = unlimited).
 	MaxInflight int64
-	// StatePath, when set, is the cache state file: loaded on New (if it
-	// exists) and flushed by Close — the crash/restart persistence seam.
+	// StatePath, when set, is the cache state file: loaded on New — with
+	// crash salvage: a file torn by a mid-write kill yields its intact
+	// entries and is set aside as .corrupt — and flushed by Close and the
+	// snapshot timer. The flush is atomic (temp + fsync + rename), so no
+	// crash window loses the previous complete snapshot.
 	StatePath string
+	// SnapshotInterval, when > 0 together with StatePath, flushes the cache
+	// state in the background every interval, so a crash loses at most one
+	// interval of verdicts instead of everything since boot.
+	SnapshotInterval time.Duration
+	// RequestTimeout, when > 0, bounds each tuning batch's engine time.
+	// Searches still running at the deadline stop after their current
+	// measurement and the response carries best-so-far verdicts marked
+	// "partial": true; the truncated engine state is persisted, so
+	// re-POSTing the identical request continues the search.
+	RequestTimeout time.Duration
+	// Chaos, when enabled, wraps every search's measurer in the seeded
+	// fault injector — the harness behind the chaos e2e suite and CI job.
+	// Production deployments leave it zero.
+	Chaos chaos.Config
 	// BenchPath, when set, is the benchmark trajectory JSON served by
 	// GET /v1/bench (cmd/tuned points it at BENCH_autotune.json).
 	BenchPath string
@@ -68,6 +89,20 @@ type Server struct {
 	requests atomic.Int64 // POST /v1/tune requests accepted for tuning
 	rejected atomic.Int64 // requests shed by admission control
 	batches  atomic.Int64 // tuning batches run
+
+	// Fault-tolerance observability (see Health).
+	retries      atomic.Int64 // transient-failure measurement retries
+	quarantined  atomic.Int64 // configs quarantined after repeated failures
+	partials     atomic.Int64 // responses cut short by RequestTimeout
+	salvaged     atomic.Bool  // boot recovered state from a damaged file
+	lastSnapshot atomic.Int64 // unix nanos of the last successful flush (0 = never)
+	lastFlushErr atomic.Pointer[string]
+
+	injector *chaos.Injector // nil unless Config.Chaos is enabled
+
+	snapStop chan struct{}
+	snapDone chan struct{}
+	stopOnce sync.Once
 }
 
 // New builds a Server, loading persisted cache state from cfg.StatePath if
@@ -80,12 +115,14 @@ func New(cfg Config) (*Server, error) {
 		def := autotune.DefaultOptions()
 		def.MeasureLatency = cfg.Tune.MeasureLatency
 		def.Workers = cfg.Tune.Workers
+		def.Retry = cfg.Tune.Retry
 		cfg.Tune = def
 	}
 	s := &Server{cfg: cfg, cache: cfg.Cache, adm: newAdmission(cfg.MaxInflight), start: time.Now()}
 	// Every fresh measurement of every request funnels through this hook;
 	// it is the denominator of the dedup story (/healthz reports it, the
-	// e2e suite pins it).
+	// e2e suite pins it). The retry/quarantine hooks feed the same health
+	// report so an orchestrator sees a flaky measurement backend.
 	prev := cfg.Tune.OnMeasure
 	s.cfg.Tune.OnMeasure = func() {
 		s.measured.Add(1)
@@ -93,12 +130,36 @@ func New(cfg Config) (*Server, error) {
 			prev()
 		}
 	}
+	prevRetry := cfg.Tune.OnRetry
+	s.cfg.Tune.OnRetry = func() {
+		s.retries.Add(1)
+		if prevRetry != nil {
+			prevRetry()
+		}
+	}
+	prevQuar := cfg.Tune.OnQuarantine
+	s.cfg.Tune.OnQuarantine = func() {
+		s.quarantined.Add(1)
+		if prevQuar != nil {
+			prevQuar()
+		}
+	}
+	if cfg.Chaos.Enabled() {
+		s.injector = chaos.New(cfg.Chaos)
+	}
 	if cfg.StatePath != "" {
-		if err := s.cache.LoadFile(cfg.StatePath); err != nil && !os.IsNotExist(err) {
+		if _, salvaged, err := s.cache.RecoverFile(cfg.StatePath); err != nil {
 			return nil, fmt.Errorf("tuned: state %s: %w", cfg.StatePath, err)
+		} else if salvaged {
+			s.salvaged.Store(true)
 		}
 	}
 	s.batch = newBatcher(cfg.BatchWindow, s.runBatch)
+	if cfg.StatePath != "" && cfg.SnapshotInterval > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("GET /v1/bench", s.handleBench)
@@ -111,16 +172,54 @@ func New(cfg Config) (*Server, error) {
 // http.Server.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close flushes the cache state (verdicts plus engine state, format v2) to
-// StatePath, so the next boot resumes where this process stopped. It is
-// the graceful-shutdown half of the persistence seam; call it after the
-// HTTP server has drained.
+// Close stops the snapshot timer and flushes the cache state (verdicts
+// plus engine state, format v2) to StatePath, so the next boot resumes
+// where this process stopped. It is the graceful-shutdown half of the
+// persistence seam; call it after the HTTP server has drained.
 func (s *Server) Close() error {
 	s.closed.Store(true)
+	s.stopOnce.Do(func() {
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapDone
+		}
+	})
 	if s.cfg.StatePath == "" {
 		return nil
 	}
-	return s.cache.SaveFile(s.cfg.StatePath)
+	return s.flushState()
+}
+
+// flushState writes one atomic snapshot and records its outcome for
+// /healthz.
+func (s *Server) flushState() error {
+	err := s.cache.SaveFile(s.cfg.StatePath)
+	if err != nil {
+		msg := err.Error()
+		s.lastFlushErr.Store(&msg)
+		return err
+	}
+	s.lastFlushErr.Store(nil)
+	s.lastSnapshot.Store(time.Now().UnixNano())
+	return nil
+}
+
+// snapshotLoop is the timed background persistence: one atomic flush per
+// SnapshotInterval, so a crash loses at most one interval of verdicts. A
+// failing flush is recorded (and surfaced on /healthz) but does not stop
+// the loop — disk pressure may clear.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.flushState()
+		case <-s.snapStop:
+			return
+		}
+	}
 }
 
 // Measurements reports the fresh measurements performed since boot.
@@ -128,7 +227,10 @@ func (s *Server) Measurements() int64 { return s.measured.Load() }
 
 // runBatch tunes one admission round: per mergeable group, one TuneNetwork
 // call over the concatenated layers. Groups run concurrently — they share
-// nothing but the (concurrency-safe) cache.
+// nothing but the (concurrency-safe) cache. With RequestTimeout set, each
+// group's engine time is deadline-bounded from the moment its batch runs;
+// the deadline is per group, not per request, because a group's searches
+// are shared across every client merged into it.
 func (s *Server) runBatch(jobs []*tuneJob) {
 	s.batches.Add(1)
 	groups := groupJobs(jobs)
@@ -136,7 +238,13 @@ func (s *Server) runBatch(jobs []*tuneJob) {
 	for _, g := range groups {
 		g := g
 		go func() {
-			runGroup(s.cache, g)
+			ctx := context.Background()
+			if s.cfg.RequestTimeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+				defer cancel()
+			}
+			runGroup(ctx, s.cache, g)
 			done <- struct{}{}
 		}()
 	}
@@ -144,6 +252,15 @@ func (s *Server) runBatch(jobs []*tuneJob) {
 		<-done
 	}
 	s.cache.EvictExpired()
+}
+
+// wrapMeasurer is the NetworkOptions.WrapMeasurer hook: nil without chaos,
+// the seeded injector with it.
+func (s *Server) wrapMeasurer() func(autotune.Kind, shapes.ConvShape, autotune.Measurer) autotune.FallibleMeasurer {
+	if s.injector == nil {
+		return nil
+	}
+	return s.injector.WrapNetwork()
 }
 
 // errJSON writes a JSON error body with the given status.
@@ -199,7 +316,8 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		key:  groupKey{arch: arch.Name, budget: opts.Budget, seed: opts.Seed, winograd: winograd},
 		arch: arch, layers: layers,
 		opts: autotune.NetworkOptions{Tune: opts, Workers: s.cfg.LayerWorkers,
-			Winograd: winograd, Warm: s.cfg.Warm, Resume: s.cfg.Resume},
+			Winograd: winograd, Warm: s.cfg.Warm, Resume: s.cfg.Resume,
+			WrapMeasurer: s.wrapMeasurer()},
 		done: make(chan struct{}),
 	}
 	s.batch.submit(job)
@@ -211,6 +329,15 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	resp := repro.TuneResponse{Arch: arch.Name,
 		Verdicts:       repro.DescribeVerdicts(job.verdicts),
 		NetworkSeconds: autotune.NetworkSeconds(job.verdicts)}
+	for _, v := range job.verdicts {
+		if v.Partial {
+			resp.Partial = true
+			break
+		}
+	}
+	if resp.Partial {
+		s.partials.Add(1)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
@@ -263,7 +390,11 @@ func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
 }
 
 // Health is the /healthz body: liveness plus the cache and admission
-// counters that make the dedup/eviction story observable.
+// counters that make the dedup/eviction story observable, and the
+// fault-tolerance report — snapshot age, last flush error, retry and
+// quarantine counters — that lets an orchestrator alert on a daemon that
+// is up but no longer persisting, or up but fighting a flaky measurement
+// backend.
 type Health struct {
 	OK             bool                `json:"ok"`
 	UptimeSeconds  float64             `json:"uptime_seconds"`
@@ -273,19 +404,51 @@ type Health struct {
 	Requests       int64               `json:"requests"`
 	Rejected       int64               `json:"rejected"`
 	Batches        int64               `json:"batches"`
+	// SnapshotAgeSeconds is the age of the last successful state flush;
+	// -1 when none has happened yet (or persistence is off). With timed
+	// snapshots on, an age far past -snapshot-interval means flushes fail.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// LastFlushError is the most recent state-flush failure, cleared by
+	// the next successful flush.
+	LastFlushError string `json:"last_flush_error,omitempty"`
+	// Retries / Quarantined count transient measurement failures absorbed
+	// by the engine's retry pipeline (nonzero only with a fallible backend
+	// or fault injection).
+	Retries     int64 `json:"retries"`
+	Quarantined int64 `json:"quarantined"`
+	// PartialResponses counts requests answered best-so-far because they
+	// hit -request-timeout.
+	PartialResponses int64 `json:"partial_responses"`
+	// StateSalvaged is true when boot found a damaged state file and
+	// recovered what it could (the remainder is in StatePath+".corrupt").
+	StateSalvaged bool `json:"state_salvaged,omitempty"`
 }
 
 // handleHealth is GET /healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snapAge := -1.0
+	if ns := s.lastSnapshot.Load(); ns > 0 {
+		snapAge = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	flushErr := ""
+	if p := s.lastFlushErr.Load(); p != nil {
+		flushErr = *p
+	}
 	h := Health{
-		OK:             !s.closed.Load(),
-		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Cache:          s.cache.Stats(),
-		InflightBudget: s.adm.load(),
-		Measurements:   s.measured.Load(),
-		Requests:       s.requests.Load(),
-		Rejected:       s.rejected.Load(),
-		Batches:        s.batches.Load(),
+		OK:                 !s.closed.Load(),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Cache:              s.cache.Stats(),
+		InflightBudget:     s.adm.load(),
+		Measurements:       s.measured.Load(),
+		Requests:           s.requests.Load(),
+		Rejected:           s.rejected.Load(),
+		Batches:            s.batches.Load(),
+		SnapshotAgeSeconds: snapAge,
+		LastFlushError:     flushErr,
+		Retries:            s.retries.Load(),
+		Quarantined:        s.quarantined.Load(),
+		PartialResponses:   s.partials.Load(),
+		StateSalvaged:      s.salvaged.Load(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h)

@@ -16,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/autotune"
+	"repro/internal/chaos"
 	"repro/internal/memsim"
 	"repro/internal/models"
 	"repro/internal/shapes"
@@ -33,8 +34,22 @@ func tinyOpts(budget int, seed int64) autotune.Options {
 }
 
 // newTestServer boots a Server behind httptest and arranges teardown.
+// With TUNED_E2E_CHAOS set to a fault rate in (0, 1), every server of the
+// suite runs under seeded fault injection with the retry pipeline armed —
+// the CI chaos job sets it to prove the whole e2e contract (bit-identical
+// verdicts, exact measurement counts) holds on a flaky backend.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if env := os.Getenv("TUNED_E2E_CHAOS"); env != "" && !cfg.Chaos.Enabled() {
+		rate, err := strconv.ParseFloat(env, 64)
+		if err != nil || rate <= 0 || rate >= 1 {
+			t.Fatalf("TUNED_E2E_CHAOS=%q: want a rate in (0, 1)", env)
+		}
+		cfg.Chaos = chaos.Config{Seed: 1, FailRate: rate, MaxConsecutive: 2}
+		if cfg.Tune.Retry.MaxAttempts <= cfg.Chaos.MaxConsecutive {
+			cfg.Tune.Retry.MaxAttempts = cfg.Chaos.MaxConsecutive + 2
+		}
+	}
 	srv, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

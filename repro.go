@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -182,6 +183,20 @@ type Measurement = autotune.Measurement
 // that fail to build or exceed resources.
 type Measurer = autotune.Measurer
 
+// FallibleMeasurer is the error-aware measurement seam: a non-nil error is
+// a transient failure (retryable), distinct from ok=false (config invalid,
+// final). The engine's retry pipeline (see RetryPolicy) absorbs the
+// former.
+type FallibleMeasurer = autotune.FallibleMeasurer
+
+// RetryPolicy configures the engine's fault-tolerant measurement pipeline:
+// retry with capped, deterministically-jittered exponential backoff;
+// quarantine after MaxAttempts consecutive transient failures; and a
+// median-of-k noisy-reading defense anchored on the I/O lower bound. The
+// zero value (no retries, no defense) reproduces the fault-oblivious
+// engine bit-for-bit.
+type RetryPolicy = autotune.RetryPolicy
+
 // NewDirectMeasurer returns a reusable, memoized measurer for the direct
 // dataflow on one (arch, shape): repeated evaluations of configurations
 // sharing an output tile are O(1) lookups and the steady state allocates
@@ -225,6 +240,11 @@ type TuneOptions struct {
 	// still updates on any improvement. 0 (default): any improvement
 	// resets patience.
 	MinDelta float64
+	// Retry configures the fault-tolerant measurement pipeline (retries,
+	// quarantine, noise defense); the zero value changes nothing. Only
+	// meaningful with a measurement backend that can actually fail — the
+	// built-in simulator never does.
+	Retry RetryPolicy
 }
 
 func (o TuneOptions) lower() autotune.Options {
@@ -241,6 +261,7 @@ func (o TuneOptions) lower() autotune.Options {
 	opts.MeasureLatency = o.MeasureLatency
 	opts.NoPrune = o.NoPrune
 	opts.MinDelta = o.MinDelta
+	opts.Retry = o.Retry
 	return opts
 }
 
@@ -330,6 +351,9 @@ type NetworkTuneOptions struct {
 	// measurement is ever repeated) and the search continues with the
 	// remaining budget.
 	Resume bool
+	// Retry configures the per-layer fault-tolerant measurement pipeline
+	// (see TuneOptions.Retry).
+	Retry RetryPolicy
 }
 
 // TuneNetwork tunes every layer of a network concurrently with a shared
@@ -337,8 +361,18 @@ type NetworkTuneOptions struct {
 // cache may be nil for a throwaway run. Verdicts come back in layer order
 // and are deterministic for a fixed seed at any worker count.
 func TuneNetwork(arch Arch, layers []NetworkLayer, cache *TuningCache, o NetworkTuneOptions) ([]LayerVerdict, error) {
-	per := TuneOptions{Budget: o.Budget, Seed: o.Seed, Workers: o.Workers, MeasureLatency: o.MeasureLatency, NoPrune: o.NoPrune}
-	return autotune.TuneNetwork(arch, layers, cache, autotune.NetworkOptions{
+	return TuneNetworkContext(context.Background(), arch, layers, cache, o)
+}
+
+// TuneNetworkContext is TuneNetwork bounded by a context: past ctx's
+// deadline (or on cancellation) every still-running layer search stops
+// after its current measurement and reports best-so-far, so the sweep
+// returns a complete verdict list with truncated layers marked Partial
+// instead of an error. Truncated engine state persists into cache at its
+// honest budget; repeating the request with Resume continues the search.
+func TuneNetworkContext(ctx context.Context, arch Arch, layers []NetworkLayer, cache *TuningCache, o NetworkTuneOptions) ([]LayerVerdict, error) {
+	per := TuneOptions{Budget: o.Budget, Seed: o.Seed, Workers: o.Workers, MeasureLatency: o.MeasureLatency, NoPrune: o.NoPrune, Retry: o.Retry}
+	return autotune.TuneNetworkContext(ctx, arch, layers, cache, autotune.NetworkOptions{
 		Tune:     per.lower(),
 		Workers:  o.LayerWorkers,
 		Winograd: o.Winograd,

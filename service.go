@@ -216,6 +216,11 @@ type VerdictDescription struct {
 	// here: a cache hit, or deduplication onto a concurrent identical
 	// search (possibly another client's).
 	Shared bool `json:"shared"`
+	// Partial reports that this layer's search was cut short by the
+	// server's request timeout: the config is best-so-far, not converged.
+	// The server persists the truncated search state, so re-POSTing the
+	// same request continues (and eventually completes) the search.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // DescribeVerdicts wraps a verdict list for the wire.
@@ -228,7 +233,8 @@ func DescribeVerdicts(verdicts []LayerVerdict) []VerdictDescription {
 		}
 		out[i] = VerdictDescription{Layer: v.Layer.Name, Repeat: r,
 			Kind: v.Kind.String(), Config: DescribeConfig(v.Config),
-			Seconds: v.M.Seconds, GFLOPS: v.M.GFLOPS, Shared: v.Shared}
+			Seconds: v.M.Seconds, GFLOPS: v.M.GFLOPS, Shared: v.Shared,
+			Partial: v.Partial}
 	}
 	return out
 }
@@ -239,4 +245,8 @@ type TuneResponse struct {
 	Arch           string               `json:"arch"`
 	Verdicts       []VerdictDescription `json:"verdicts"`
 	NetworkSeconds float64              `json:"network_seconds"`
+	// Partial is true when any verdict is partial — the request hit the
+	// server's -request-timeout and the response is best-so-far. Re-POST
+	// the identical request to continue the persisted searches.
+	Partial bool `json:"partial,omitempty"`
 }
