@@ -399,6 +399,40 @@ func BenchmarkTuneNetworkWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyticVerdict times the instant-verdict tier on the full
+// ResNet-18 inventory: "scan" pays the once-per-space enumeration a cold
+// daemon pays on its first degraded answer; "serve" is the steady-state
+// memoized path every later answer takes — the budget the degradation
+// story depends on (a degraded daemon must answer in well under a
+// millisecond per network, no matter how overloaded the measured path is).
+func BenchmarkAnalyticVerdict(b *testing.B) {
+	arch := memsim.V100
+	layers := models.ResNet18().NetworkLayers()
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := autotune.NewAnalyticDSE(arch).Network(layers, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("serve", func(b *testing.B) {
+		b.ReportAllocs()
+		dse := autotune.NewAnalyticDSE(arch)
+		verdicts, err := dse.Network(layers, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dse.Network(layers, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(autotune.NetworkSeconds(verdicts)*1e3, "analytic-network-ms")
+	})
+}
+
 // BenchmarkTuneResume compares tuning AlexNet conv2 to a 192-measurement
 // budget from scratch against resuming a cache that already persists the
 // first 96 measurements: the resumed run replays the history (no repeat

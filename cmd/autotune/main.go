@@ -9,6 +9,7 @@
 //	autotune -no-prune -cin 96 -hw 27 -cout 256 -k 5 -pad 2   # disable bound-guided pruning
 //	autotune -cache tune.json -budget 300 ...                 # persist verdict + engine state
 //	autotune -cache tune.json -budget 600 -resume ...         # continue the cached search, nothing re-measured
+//	autotune -analytic -cin 96 -hw 27 -cout 256 -k 5 -pad 2   # also print the measurement-free analytic ranking
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	noPrune := flag.Bool("no-prune", false, "disable bound-guided pruning (measure every selected candidate)")
 	minDelta := flag.Float64("min-delta", 0, "relative improvement below which patience is not reset (0 = any improvement resets)")
 	emit := flag.Bool("emit", false, "print the kernel schedule of the winning configuration")
+	analytic := flag.Bool("analytic", false, "also print the measurement-free analytic ranking (the tier the service degrades to) next to the measured verdict")
 	cachePath := flag.String("cache", "", "tuning-cache JSON file (read if present, updated on exit)")
 	resume := flag.Bool("resume", false, "with -cache: continue a cached search at the current -budget; the persisted history replays and no measurement repeats")
 	flag.Parse()
@@ -146,6 +148,10 @@ func main() {
 			lib.Seconds, lib.GFLOPS, lib.Seconds/trace.BestM.Seconds)
 	}
 
+	if *analytic {
+		printAnalytic(arch, s, kind, cache, trace)
+	}
+
 	fmt.Println("\nconvergence (best-so-far GFLOP/s):")
 	step := len(trace.Curve) / 15
 	if step < 1 {
@@ -168,5 +174,42 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cache save: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// printAnalytic prints the instant-verdict tier's top-5 ranking alongside
+// the measured verdict: per config the admissible floor, the calibrated
+// estimate, and — since this process has a real measurer at hand — the
+// actual measured time and the winner's regret against the tuned best.
+// This is what a degraded tuned daemon would have answered for this layer.
+func printAnalytic(arch repro.Arch, s repro.Shape, kind autotune.Kind, cache *autotune.Cache, trace *repro.TuneTrace) {
+	e := 0
+	if kind == autotune.Winograd {
+		e = 2
+	}
+	sp, err := autotune.NewSpace(s, arch, kind, e, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analytic: %v\n", err)
+		return
+	}
+	cal := autotune.CalibrateAnalytic(cache, arch)
+	top, err := sp.AnalyticTop(5, cal)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analytic: %v\n", err)
+		return
+	}
+	fmt.Printf("\nanalytic ranking (calibration %.2fx, %d configs ranked, no measurements):\n",
+		cal, top[0].Ranked)
+	mm := autotune.NewMemoMeasure(arch, s, kind)
+	for i, v := range top {
+		line := fmt.Sprintf("  #%d floor %.3gs estimate %.3gs", i+1, v.Floor, v.Seconds)
+		if m, ok := mm.Measure(v.Config); ok {
+			line += fmt.Sprintf(" measured %.3gs", m.Seconds)
+		}
+		fmt.Printf("%s  %v\n", line, v.Config)
+	}
+	if m, ok := mm.Measure(top[0].Config); ok && trace.BestM.Seconds > 0 {
+		fmt.Printf("analytic winner vs tuned best: %.2fx regret (%.3gs vs %.3gs)\n",
+			m.Seconds/trace.BestM.Seconds, m.Seconds, trace.BestM.Seconds)
 	}
 }

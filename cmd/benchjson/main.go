@@ -38,8 +38,10 @@ type row struct {
 // (cold, and warm-started via the cross-layer transfer pool), the
 // resumed-search path, the allocation-free cache key, and the search-engine
 // overhead pair (the bound-guided loop vs its pre-rework baseline, and the
-// incremental vs from-scratch cost-model refit).
-const defaultBench = "BenchmarkMeasureDry|BenchmarkDirectTiledWet|BenchmarkWinogradFusedWet|BenchmarkTuneNetwork|BenchmarkTuneNetworkWarm|BenchmarkTuneResume|BenchmarkCacheKey|BenchmarkBlockedConvShape|BenchmarkTuneEngine|BenchmarkTrainGBTIncremental"
+// incremental vs from-scratch cost-model refit), and the measurement-free
+// analytic verdict the daemon degrades to (scan = cold per-space enumeration,
+// serve = the memoized steady state, which must stay well under 1ms/network).
+const defaultBench = "BenchmarkMeasureDry|BenchmarkDirectTiledWet|BenchmarkWinogradFusedWet|BenchmarkTuneNetwork|BenchmarkTuneNetworkWarm|BenchmarkTuneResume|BenchmarkCacheKey|BenchmarkBlockedConvShape|BenchmarkTuneEngine|BenchmarkTrainGBTIncremental|BenchmarkAnalyticVerdict"
 
 // parseLine parses one `go test -bench` result line, e.g.
 //

@@ -4,8 +4,9 @@
 //	tuned -addr :9911 -state tuned.cache -resume
 //
 // Clients POST a JSON network description to /v1/tune and get per-layer
-// verdicts back; GET /v1/bench serves the benchmark trajectory and
-// GET /healthz the cache and admission counters. Identical in-flight
+// verdicts back; GET /v1/bench serves the benchmark trajectory,
+// GET /healthz the cache and admission counters, and GET /metrics the
+// same observability as a Prometheus text exposition. Identical in-flight
 // requests collapse into one search, concurrent distinct networks merge
 // into one transfer pool, and SIGTERM flushes the cache (verdicts plus
 // engine state) to -state so the next boot replays instead of re-tuning.
@@ -53,6 +54,12 @@ func main() {
 	chaosFailRate := flag.Float64("chaos-fail-rate", 0, "inject seeded transient measurement failures at this rate (testing only)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed of the fault-injection schedule")
 	chaosMaxConsecutive := flag.Int("chaos-max-consecutive", 2, "cap on injected consecutive failures per config (keep below -measure-retries)")
+	analyticOverflow := flag.Bool("analytic-overflow", false, "serve requests beyond -max-inflight from the instant analytic tier (200, tier \"analytic\") instead of shedding with 429")
+	breakerThreshold := flag.Float64("breaker-threshold", 0, "windowed measurement failure rate that trips the circuit breaker into analytic-only service (0 = no breaker)")
+	breakerWindow := flag.Int("breaker-window", 0, "sliding window of measurement outcomes the breaker rate is computed over (default 32)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before half-open probe measurements (default 5s)")
+	breakerProbes := flag.Int("breaker-probes", 0, "measurements a half-open breaker admits; one success restores service (default 3)")
+	refineWorkers := flag.Int("refine-workers", 0, "background workers measuring analytically-answered requests once budget frees up (default 1)")
 	flag.Parse()
 
 	opts := autotune.DefaultOptions()
@@ -83,7 +90,11 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		Chaos: chaos.Config{Seed: *chaosSeed, FailRate: *chaosFailRate,
 			MaxConsecutive: *chaosMaxConsecutive},
-		BenchPath: *bench,
+		BenchPath:        *bench,
+		AnalyticOverflow: *analyticOverflow,
+		Breaker: autotune.BreakerConfig{Threshold: *breakerThreshold,
+			Window: *breakerWindow, Cooldown: *breakerCooldown, Probes: *breakerProbes},
+		RefineWorkers: *refineWorkers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,311 @@
+package autotune
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/conv"
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+)
+
+// analyticRegretCap pins the analytic tier's quality: over randomized
+// exhaustively-enumerable shapes, the measured time of the analytic winner
+// stays within this factor of the true measured optimum of the space. The
+// floor orders configurations by their I/O-implied cost, not their modeled
+// cost, so the winner can be suboptimal — but a degraded-mode answer worse
+// than this factor would make the instant tier useless as a stand-in.
+const analyticRegretCap = 2.0
+
+// enumeratedOptimum finds the true measured optimum of a space by full
+// enumeration — the ground truth the analytic ranking is judged against.
+func enumeratedOptimum(sp *Space, mm *MemoMeasure) (conv.Config, float64, bool) {
+	best := math.Inf(1)
+	var bestCfg conv.Config
+	found := false
+	sp.enumerate(func(c conv.Config) bool {
+		if m, ok := mm.Measure(c); ok && m.Seconds < best {
+			best, bestCfg, found = m.Seconds, c, true
+		}
+		return true
+	})
+	return bestCfg, best, found
+}
+
+// The regret property: the analytic winner must be measurable, its floor
+// admissible (never above its own measured time), and its measured time
+// within analyticRegretCap of the enumerated optimum. This is the contract
+// that makes an analytic 200 a usable answer rather than a guess.
+func TestAnalyticRegret(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	archs := []memsim.Arch{memsim.V100, memsim.GTX1080Ti, memsim.GFX906}
+	worst, checked := 0.0, 0
+	for trial := 0; trial < 10; trial++ {
+		s := randomSmallShape(rng)
+		a := archs[trial%len(archs)]
+		for _, sp := range boundTestSpaces(t, s, a) {
+			v, err := sp.Analytic(1)
+			if err != nil {
+				// A space with nothing rankable has nothing to regret.
+				continue
+			}
+			mm := NewMemoMeasure(a, s, sp.Kind)
+			m, ok := mm.Measure(v.Config)
+			if !ok {
+				t.Fatalf("%v %s on %s: analytic winner %v rejected by the measurer",
+					s, sp.Kind, a.Name, v.Config)
+			}
+			if m.Seconds < v.Floor {
+				t.Errorf("%v %s on %s: floor %.3g not admissible: measured %.3g",
+					s, sp.Kind, a.Name, v.Floor, m.Seconds)
+			}
+			_, opt, found := enumeratedOptimum(sp, mm)
+			if !found {
+				continue
+			}
+			regret := m.Seconds / opt
+			if regret > worst {
+				worst = regret
+			}
+			checked++
+			if regret > analyticRegretCap {
+				t.Errorf("%v %s on %s: analytic winner measured %.3gs vs optimum %.3gs (regret %.2fx > %gx)",
+					s, sp.Kind, a.Name, m.Seconds, opt, regret, analyticRegretCap)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no (shape, space) pair exercised the regret property")
+	}
+	t.Logf("checked %d spaces, worst regret %.3fx (cap %gx)", checked, worst, analyticRegretCap)
+}
+
+// Every retained verdict's floor is admissible and the ranking is sorted
+// best-floor-first; with calibration 1 the estimate is the floor itself.
+func TestAnalyticTopAdmissibleAndSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 6; trial++ {
+		s := randomSmallShape(rng)
+		for _, sp := range boundTestSpaces(t, s, arch) {
+			vs, err := sp.AnalyticTop(0, 1)
+			if err != nil {
+				continue
+			}
+			mm := NewMemoMeasure(arch, s, sp.Kind)
+			for i, v := range vs {
+				if v.Seconds != v.Floor {
+					t.Fatalf("calibration 1 must serve the raw floor: %v vs %v", v.Seconds, v.Floor)
+				}
+				if i > 0 && vs[i-1].Floor > v.Floor {
+					t.Fatalf("ranking not sorted: [%d]=%.3g after %.3g", i, v.Floor, vs[i-1].Floor)
+				}
+				m, ok := mm.Measure(v.Config)
+				if !ok {
+					t.Fatalf("ranked config %v rejected by the measurer", v.Config)
+				}
+				if m.Seconds < v.Floor {
+					t.Errorf("floor %.3g above measured %.3g for %v", v.Floor, m.Seconds, v.Config)
+				}
+				if v.Ranked < int64(len(vs)) {
+					t.Errorf("Ranked %d < retained %d", v.Ranked, len(vs))
+				}
+			}
+		}
+	}
+}
+
+// The analytic ranking is a pure function of the space: two independent
+// spaces over the same (shape, arch, kind) produce identical rankings, and
+// calibration scales every estimate without reordering anything.
+func TestAnalyticDeterministicAndCalibrationScales(t *testing.T) {
+	s := shapes.ConvShape{Batch: 1, Cin: 4, Hin: 10, Win: 10, Cout: 6,
+		Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	mk := func() *Space {
+		sp, err := NewSpace(s, arch, Direct, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	a, err := mk().AnalyticTop(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mk().AnalyticTop(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("rankings differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rankings diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	const cal = 3.5
+	c, err := mk().AnalyticTop(0, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if c[i].Config != a[i].Config {
+			t.Fatalf("calibration reordered the ranking at %d", i)
+		}
+		if got, want := c[i].Seconds, a[i].Floor*cal; math.Abs(got-want) > 1e-15*want {
+			t.Fatalf("calibrated estimate %v, want floor*%v = %v", got, cal, want)
+		}
+	}
+	// A calibration below 1 (or NaN) must clamp to the admissible floor.
+	for _, bad := range []float64{0.5, 0, -3, math.NaN()} {
+		d, err := mk().AnalyticTop(1, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d[0].Seconds != d[0].Floor {
+			t.Fatalf("calibration %v must clamp to 1, got estimate %v over floor %v",
+				bad, d[0].Seconds, d[0].Floor)
+		}
+	}
+}
+
+// Calibration fitting: an absent or empty cache serves the raw floor
+// (factor 1); a cache holding measured history yields a finite factor ≥ 1
+// that brings the analytic estimate toward the measured scale.
+func TestCalibrateAnalytic(t *testing.T) {
+	if got := CalibrateAnalytic(nil, arch); got != 1 {
+		t.Fatalf("nil cache: calibration %v, want 1", got)
+	}
+	cache := NewCache()
+	if got := CalibrateAnalytic(cache, arch); got != 1 {
+		t.Fatalf("empty cache: calibration %v, want 1", got)
+	}
+
+	s := shapes.ConvShape{Batch: 1, Cin: 4, Hin: 10, Win: 10, Cout: 6,
+		Hker: 3, Wker: 3, Strid: 1, Pad: 1}
+	sp, err := NewSpace(s, arch, Direct, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Budget = 24
+	tr, err := Tune(sp, NewMemoMeasure(arch, s, Direct).Measure, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.PutTrace(arch.Name, Direct, s, tr)
+	cal := CalibrateAnalytic(cache, arch)
+	if !(cal >= 1) || math.IsInf(cal, 1) {
+		t.Fatalf("fitted calibration %v, want finite ≥ 1", cal)
+	}
+	// A different architecture has no rows here and stays at 1.
+	if got := CalibrateAnalytic(cache, memsim.TitanX); got != 1 {
+		t.Fatalf("foreign-arch calibration %v, want 1", got)
+	}
+}
+
+// The DSE facade: every verdict carries TierAnalytic, Winograd is chosen
+// only where it is admissible and estimated faster, and two independent
+// DSEs agree — the determinism the daemon's degraded mode inherits.
+func TestAnalyticDSENetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	layers := randomNetwork(rng)
+	run := func() []LayerVerdict {
+		t.Helper()
+		verdicts, err := NewAnalyticDSE(arch).Network(layers, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return verdicts
+	}
+	a, b := run(), run()
+	if len(a) != len(layers) {
+		t.Fatalf("%d verdicts for %d layers", len(a), len(layers))
+	}
+	for i := range a {
+		if a[i].Tier != TierAnalytic {
+			t.Fatalf("layer %s: tier %v, want analytic", a[i].Layer.Name, a[i].Tier)
+		}
+		if !(a[i].M.Seconds > 0) {
+			t.Fatalf("layer %s: non-positive estimate %v", a[i].Layer.Name, a[i].M.Seconds)
+		}
+		if a[i].Kind == Winograd && (a[i].Layer.Shape.Hker != 3 || !a[i].Layer.Shape.WinogradOK()) {
+			t.Fatalf("layer %s: Winograd verdict on an inadmissible shape", a[i].Layer.Name)
+		}
+		if a[i].Config != b[i].Config || a[i].Kind != b[i].Kind || a[i].M != b[i].M {
+			t.Fatalf("layer %s: independent DSEs disagree: %+v vs %+v",
+				a[i].Layer.Name, a[i], b[i])
+		}
+	}
+	if !(NetworkSeconds(a) > 0) {
+		t.Fatal("non-positive analytic network time")
+	}
+}
+
+// errDead is the dead-backend error used by the fallback tests.
+var errDead = errors.New("backend dead")
+
+// deadMeasurer fails every measurement — the seam state behind an open
+// breaker or an unplugged device.
+func deadMeasurer(Kind, shapes.ConvShape, Measurer) FallibleMeasurer {
+	return func(conv.Config) (Measurement, bool, error) {
+		return Measurement{}, false, errDead
+	}
+}
+
+// AnalyticFallback is the sweep-level degradation trigger: with a dead
+// measurer the plain sweep fails, the fallback sweep returns a complete
+// all-analytic verdict list instead.
+func TestTuneNetworkAnalyticFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	layers := randomNetwork(rng)
+	opts := DefaultOptions()
+	opts.Budget = 8
+	opts.Retry.MaxAttempts = 2
+
+	base := NetworkOptions{Tune: opts, Winograd: true, WrapMeasurer: deadMeasurer}
+	if _, err := TuneNetwork(arch, layers, NewCache(), base); err == nil {
+		t.Fatal("dead measurer without AnalyticFallback must fail the sweep")
+	}
+
+	withFallback := base
+	withFallback.AnalyticFallback = true
+	verdicts, err := TuneNetwork(arch, layers, NewCache(), withFallback)
+	if err != nil {
+		t.Fatalf("fallback sweep failed: %v", err)
+	}
+	if len(verdicts) != len(layers) {
+		t.Fatalf("%d verdicts for %d layers", len(verdicts), len(layers))
+	}
+	for _, v := range verdicts {
+		if v.Tier != TierAnalytic {
+			t.Fatalf("layer %s: tier %v, want analytic", v.Layer.Name, v.Tier)
+		}
+		if !(v.M.Seconds > 0) {
+			t.Fatalf("layer %s: non-positive estimate", v.Layer.Name)
+		}
+	}
+
+	// With a healthy measurer the fallback option must be inert: verdicts
+	// identical to the plain sweep, every tier measured.
+	healthy := NetworkOptions{Tune: opts, Winograd: true}
+	want, err := TuneNetwork(arch, layers, NewCache(), healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy.AnalyticFallback = true
+	got, err := TuneNetwork(arch, layers, NewCache(), healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Config != want[i].Config || got[i].Kind != want[i].Kind {
+			t.Fatalf("layer %s: fallback option changed a healthy verdict", want[i].Layer.Name)
+		}
+		if got[i].Tier != TierMeasured {
+			t.Fatalf("layer %s: healthy sweep tier %v, want measured", got[i].Layer.Name, got[i].Tier)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package autotune
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/conv"
+)
+
+// This file is the measurement circuit breaker: the degradation trigger
+// for a dying backend. The retry pipeline (resilient.go) absorbs sporadic
+// transient failures per configuration; the breaker watches the failure
+// *rate* across configurations and, when a sliding window says the
+// measurer is effectively down, stops feeding it — every further
+// measurement fast-fails with ErrBreakerOpen so searches collapse in
+// microseconds instead of burning the full retry budget per config, and
+// the service above answers from the analytic tier. After a cooldown the
+// breaker goes half-open: a handful of probe measurements are let through,
+// one success restores service, one failure re-opens it. The classic
+// closed → open → half-open machine, applied to the FallibleMeasurer seam.
+
+// ErrBreakerOpen is the fast-fail error an open breaker returns for every
+// measurement. It counts as a transient failure to the retry pipeline
+// (which is what collapses a search quickly — quarantine without backoff
+// burn), but is never recorded into the breaker's own window.
+var ErrBreakerOpen = errors.New("autotune: measurement circuit breaker open")
+
+// BreakerState is the breaker's position in the state machine.
+type BreakerState uint8
+
+const (
+	// BreakerClosed: measurements flow; outcomes are windowed.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: every measurement fast-fails until the cooldown ends.
+	BreakerOpen
+	// BreakerHalfOpen: up to Probes measurements are admitted; the first
+	// success closes the breaker, any failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// BreakerConfig configures the measurement circuit breaker. The zero value
+// is disabled: NewBreaker returns nil and the seam is untouched.
+type BreakerConfig struct {
+	// Threshold is the windowed transient-failure rate (0, 1] that trips
+	// the breaker; 0 disables the breaker entirely.
+	Threshold float64
+	// Window is the sliding window of measurement outcomes the rate is
+	// computed over (default 32).
+	Window int
+	// MinSamples is how many outcomes the window must hold before the rate
+	// is trusted (default 8, capped at Window) — a single early failure
+	// must not trip a 100% rate.
+	MinSamples int
+	// Cooldown is how long an open breaker waits before going half-open
+	// (default 5s).
+	Cooldown time.Duration
+	// Probes is how many measurements a half-open breaker admits before
+	// fast-failing again while it waits for their outcomes (default 3).
+	Probes int
+	// OnTransition, when non-nil, observes every state change. It is
+	// invoked under the breaker's lock: keep it cheap (counters) and never
+	// call back into the breaker.
+	OnTransition func(from, to BreakerState)
+	// Now is the clock; nil means time.Now. A seam for tests.
+	Now func() time.Time
+}
+
+// Enabled reports whether this configuration arms a breaker.
+func (c BreakerConfig) Enabled() bool { return c.Threshold > 0 }
+
+func (c BreakerConfig) normalized() BreakerConfig {
+	if c.Window < 1 {
+		c.Window = 32
+	}
+	if c.MinSamples < 1 {
+		c.MinSamples = 8
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Probes < 1 {
+		c.Probes = 3
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a concurrency-safe measurement circuit breaker. One instance
+// guards one backend and is shared by every search wrapping through it;
+// the zero value is not usable — construct with NewBreaker.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	window   []bool // ring of outcomes, true = transient failure
+	next     int    // ring write position
+	filled   int
+	fails    int
+	openedAt time.Time
+	probes   int // measurements admitted in the current half-open period
+}
+
+// NewBreaker builds a breaker, or returns nil when cfg is disabled — a nil
+// Breaker's Wrap is the identity, so callers need no special-casing.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if !cfg.Enabled() {
+		return nil
+	}
+	cfg = cfg.normalized()
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// State reports the breaker's current state, resolving an elapsed cooldown
+// (open → half-open) first — so polling State is enough to observe the
+// cooldown expiring even when no measurement has been attempted.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resolve()
+	return b.state
+}
+
+// Trip forces the breaker open now, as if the rate threshold had been
+// crossed — the forced-degraded operation mode (and the test seam).
+func (b *Breaker) Trip() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trip()
+}
+
+// Wrap puts the breaker in front of a fallible measurer. A nil receiver
+// returns m unchanged.
+func (b *Breaker) Wrap(m FallibleMeasurer) FallibleMeasurer {
+	if b == nil {
+		return m
+	}
+	return func(c conv.Config) (Measurement, bool, error) {
+		if !b.allow() {
+			return Measurement{}, false, ErrBreakerOpen
+		}
+		meas, ok, err := m(c)
+		// Only transient errors are failures; ok=false means the config is
+		// invalid — a healthy answer from a healthy backend.
+		b.record(err != nil)
+		return meas, ok, err
+	}
+}
+
+// resolve moves open → half-open once the cooldown has elapsed. Callers
+// hold b.mu.
+func (b *Breaker) resolve() {
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.probes = 0
+		b.transition(BreakerHalfOpen)
+	}
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}
+
+func (b *Breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resolve()
+	switch b.state {
+	case BreakerOpen:
+		return false
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.Probes {
+			return false
+		}
+		b.probes++
+	}
+	return true
+}
+
+func (b *Breaker) record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if b.filled == len(b.window) {
+			if b.window[b.next] {
+				b.fails--
+			}
+		} else {
+			b.filled++
+		}
+		b.window[b.next] = failed
+		if failed {
+			b.fails++
+		}
+		b.next = (b.next + 1) % len(b.window)
+		if b.filled >= b.cfg.MinSamples && float64(b.fails)/float64(b.filled) >= b.cfg.Threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		if failed {
+			b.trip()
+		} else {
+			// One healthy probe restores service; if the backend is still
+			// mostly down, the windowed rate re-trips within MinSamples.
+			b.transition(BreakerClosed)
+			b.resetWindow()
+		}
+	case BreakerOpen:
+		// A measurement admitted before the trip finished after it; the
+		// trip already accounted for the window, so the straggler is
+		// ignored rather than double-booked.
+	}
+}
+
+// trip opens the breaker and starts the cooldown. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.openedAt = b.cfg.Now()
+	b.resetWindow()
+	b.probes = 0
+	b.transition(BreakerOpen)
+}
+
+func (b *Breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.next, b.filled, b.fails = 0, 0, 0
+}

@@ -1,0 +1,293 @@
+package autotune
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/conv"
+)
+
+// fakeClock is the breaker's Now seam: tests advance it by hand.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+var errBackend = errors.New("backend down")
+
+// breakerHarness is a breaker over a scriptable measurer that counts how
+// often the backend is actually reached.
+type breakerHarness struct {
+	b     *Breaker
+	clock *fakeClock
+	calls int
+	fail  bool // when true the backend errors
+	m     FallibleMeasurer
+}
+
+func newBreakerHarness(t *testing.T, cfg BreakerConfig) *breakerHarness {
+	t.Helper()
+	h := &breakerHarness{clock: &fakeClock{t: time.Unix(0, 0)}}
+	cfg.Now = h.clock.now
+	h.b = NewBreaker(cfg)
+	if h.b == nil {
+		t.Fatal("breaker config unexpectedly disabled")
+	}
+	h.m = h.b.Wrap(func(conv.Config) (Measurement, bool, error) {
+		h.calls++
+		if h.fail {
+			return Measurement{}, false, errBackend
+		}
+		return Measurement{Seconds: 1}, true, nil
+	})
+	return h
+}
+
+func (h *breakerHarness) measure() error {
+	_, _, err := h.m(conv.Config{})
+	return err
+}
+
+func TestBreakerDisabledIsNil(t *testing.T) {
+	if b := NewBreaker(BreakerConfig{}); b != nil {
+		t.Fatal("zero config must disable the breaker")
+	}
+	var b *Breaker
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("nil breaker state %v, want closed", got)
+	}
+	b.Trip() // must not panic
+	called := false
+	m := b.Wrap(func(conv.Config) (Measurement, bool, error) {
+		called = true
+		return Measurement{}, true, nil
+	})
+	if _, _, err := m(conv.Config{}); err != nil || !called {
+		t.Fatal("nil breaker Wrap must be the identity")
+	}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	h := newBreakerHarness(t, BreakerConfig{Threshold: 0.5, Window: 8, MinSamples: 4})
+	h.fail = true
+	// Below MinSamples nothing trips, no matter the rate.
+	for i := 0; i < 3; i++ {
+		if err := h.measure(); !errors.Is(err, errBackend) {
+			t.Fatalf("measurement %d: err %v, want backend error", i, err)
+		}
+		if got := h.b.State(); got != BreakerClosed {
+			t.Fatalf("tripped after %d samples, below MinSamples", i+1)
+		}
+	}
+	// The fourth failure reaches MinSamples at a 100% rate: open.
+	if err := h.measure(); !errors.Is(err, errBackend) {
+		t.Fatal(err)
+	}
+	if got := h.b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after MinSamples failures, want open", got)
+	}
+	// Open: fast-fail without touching the backend.
+	calls := h.calls
+	for i := 0; i < 5; i++ {
+		if err := h.measure(); !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("open breaker returned %v, want ErrBreakerOpen", err)
+		}
+	}
+	if h.calls != calls {
+		t.Fatalf("open breaker reached the backend %d times", h.calls-calls)
+	}
+}
+
+// ok=false with a nil error is a healthy "config invalid" answer and must
+// never trip the breaker.
+func TestBreakerIgnoresInvalidConfigs(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 0.5, Window: 8, MinSamples: 4, Now: clock.now})
+	m := b.Wrap(func(conv.Config) (Measurement, bool, error) {
+		return Measurement{}, false, nil
+	})
+	for i := 0; i < 32; i++ {
+		if _, ok, err := m(conv.Config{}); ok || err != nil {
+			t.Fatal("scripted measurer misbehaved")
+		}
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after invalid-config streak, want closed", got)
+	}
+}
+
+func TestBreakerCooldownAndRecovery(t *testing.T) {
+	h := newBreakerHarness(t, BreakerConfig{
+		Threshold: 0.5, Window: 8, MinSamples: 4, Cooldown: time.Second, Probes: 2})
+	h.fail = true
+	for i := 0; i < 4; i++ {
+		h.measure()
+	}
+	if got := h.b.State(); got != BreakerOpen {
+		t.Fatalf("state %v, want open", got)
+	}
+	// Before the cooldown the breaker stays open.
+	h.clock.advance(999 * time.Millisecond)
+	if got := h.b.State(); got != BreakerOpen {
+		t.Fatalf("state %v before cooldown elapsed, want open", got)
+	}
+	// After the cooldown, polling State alone observes half-open.
+	h.clock.advance(time.Millisecond)
+	if got := h.b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", got)
+	}
+	// A healthy probe restores service.
+	h.fail = false
+	calls := h.calls
+	if err := h.measure(); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if h.calls != calls+1 {
+		t.Fatal("probe did not reach the backend")
+	}
+	if got := h.b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after healthy probe, want closed", got)
+	}
+	// The window was reset: four fresh successes then a failure is a 20%
+	// rate, below threshold — no re-trip from stale history.
+	for i := 0; i < 4; i++ {
+		h.measure()
+	}
+	h.fail = true
+	h.measure()
+	if got := h.b.State(); got != BreakerClosed {
+		t.Fatalf("state %v, want closed (window must reset on recovery)", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	h := newBreakerHarness(t, BreakerConfig{
+		Threshold: 0.5, Window: 8, MinSamples: 4, Cooldown: time.Second, Probes: 3})
+	h.fail = true
+	for i := 0; i < 4; i++ {
+		h.measure()
+	}
+	h.clock.advance(time.Second)
+	if got := h.b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	// The probe fails: straight back to open, for a fresh cooldown.
+	if err := h.measure(); !errors.Is(err, errBackend) {
+		t.Fatal(err)
+	}
+	if got := h.b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", got)
+	}
+	// And the next cooldown yields another half-open chance.
+	h.clock.advance(time.Second)
+	if got := h.b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state %v after second cooldown, want half-open", got)
+	}
+}
+
+// A half-open breaker admits at most Probes measurements while their
+// outcomes are pending.
+func TestBreakerProbeCap(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{
+		Threshold: 0.5, Window: 8, MinSamples: 4, Cooldown: time.Second, Probes: 3,
+		Now: clock.now})
+	b.Trip()
+	clock.advance(time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	// allow() without record() models probes still in flight.
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("probe %d denied within the cap", i)
+		}
+	}
+	if b.allow() {
+		t.Fatal("fourth probe admitted past the cap")
+	}
+}
+
+func TestBreakerTransitionsObserved(t *testing.T) {
+	var transitions []string
+	cfg := BreakerConfig{Threshold: 0.5, Window: 8, MinSamples: 4, Cooldown: time.Second,
+		OnTransition: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		}}
+	h := newBreakerHarness(t, cfg)
+	h.fail = true
+	for i := 0; i < 4; i++ {
+		h.measure()
+	}
+	h.clock.advance(time.Second)
+	h.fail = false
+	h.measure() // half-open probe closes it
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerTripForcesOpen(t *testing.T) {
+	h := newBreakerHarness(t, BreakerConfig{Threshold: 0.9})
+	if got := h.b.State(); got != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	h.b.Trip()
+	if got := h.b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after Trip, want open", got)
+	}
+	if err := h.measure(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err %v, want ErrBreakerOpen", err)
+	}
+}
+
+// Concurrency smoke under -race: goroutines hammer one breaker through a
+// flapping backend while another poller reads State.
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 0.5, Window: 16, MinSamples: 8,
+		Cooldown: time.Microsecond})
+	var flap sync.Mutex
+	fail := false
+	m := b.Wrap(func(conv.Config) (Measurement, bool, error) {
+		flap.Lock()
+		f := fail
+		fail = !f
+		flap.Unlock()
+		if f {
+			return Measurement{}, false, errBackend
+		}
+		return Measurement{Seconds: 1}, true, nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m(conv.Config{})
+				b.State()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -74,6 +74,16 @@ type NetworkOptions struct {
 	// search, letting a wrapper derive a per-search deterministic schedule.
 	// nil lifts the plain measurer into an error-free fallible one.
 	WrapMeasurer func(Kind, shapes.ConvShape, Measurer) FallibleMeasurer
+	// AnalyticFallback degrades instead of failing: a layer whose search
+	// errors out (dead measurer, open circuit breaker, every configuration
+	// quarantined before one valid measurement) is answered by the
+	// analytic tier (Tier: TierAnalytic) so the sweep still returns a
+	// complete verdict list. Off by default, the sweep then fails on the
+	// first layer error exactly as before.
+	AnalyticFallback bool
+	// AnalyticCalibration scales analytic-fallback estimates (≤ 1 or NaN
+	// means 1; see CalibrateAnalytic).
+	AnalyticCalibration float64
 }
 
 // LayerVerdict is the tuning outcome of one network layer.
@@ -91,6 +101,10 @@ type LayerVerdict struct {
 	// converged. The truncated engine state is persisted at its honest
 	// budget, so a repeated request with Resume continues the search.
 	Partial bool
+	// Tier is the verdict's provenance: measured (the default), analytic
+	// (a measurement-free estimate from the bound-derived time model), or
+	// refined (a measured upgrade of an earlier analytic answer).
+	Tier Tier
 }
 
 // netTask is one deduplicated (kind, shape) search of a network sweep.
@@ -355,7 +369,30 @@ func TuneNetworkContext(ctx context.Context, arch memsim.Arch, layers []NetworkL
 	for i, l := range layers {
 		dt := tasks[directOf[i]]
 		if dt.err != nil {
-			return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, dt.err)
+			if !opts.AnalyticFallback {
+				return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, dt.err)
+			}
+			// Degraded path. If the Winograd twin of the failed direct
+			// search measured fine, its real verdict wins; otherwise the
+			// layer is answered by the analytic tier so the sweep stays
+			// complete. Only an unrankable space still fails the sweep.
+			if wi := winoOf[i]; wi >= 0 {
+				if wt := tasks[wi]; wt.err == nil {
+					verdicts[i] = LayerVerdict{Layer: l, Kind: Winograd, Config: wt.cfg, M: wt.m,
+						Shared: wt.shared || wt.owner != i, Partial: wt.partial}
+					continue
+				}
+			}
+			var wsp *Space
+			if wi := winoOf[i]; wi >= 0 {
+				wsp = tasks[wi].sp
+			}
+			av, ok := analyticLayerVerdict(l, dt.sp, wsp, opts.AnalyticCalibration)
+			if !ok {
+				return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, dt.err)
+			}
+			verdicts[i] = av
+			continue
 		}
 		v := LayerVerdict{Layer: l, Kind: Direct, Config: dt.cfg, M: dt.m,
 			Shared: dt.shared || dt.owner != i, Partial: dt.partial}

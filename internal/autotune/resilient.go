@@ -44,6 +44,11 @@ func liftMeasurer(m Measurer) FallibleMeasurer {
 	}
 }
 
+// LiftMeasurer is liftMeasurer for callers outside the package composing
+// their own measurement stacks (e.g. a circuit breaker with no fault
+// injector underneath).
+func LiftMeasurer(m Measurer) FallibleMeasurer { return liftMeasurer(m) }
+
 // RetryPolicy configures the fault-tolerant measurement pipeline. The zero
 // value measures each configuration exactly once with no noise defense —
 // combined with an error-free measurer, that is bit-identical to the

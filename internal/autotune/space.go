@@ -76,6 +76,14 @@ type Space struct {
 	flopsFloor float64
 	sizeOnce   sync.Once
 	size       int64
+
+	// anOnce guards the memoized analytic scan (analytic.go): the
+	// analyticTopCap best measurable configs by bound floor, the count
+	// ranked, and the scan's error when nothing ranked.
+	anOnce   sync.Once
+	anTop    []scored
+	anRanked int64
+	anErr    error
 }
 
 // NewSpace builds the space for a layer. For Winograd spaces the spatial

@@ -31,7 +31,10 @@ type Config struct {
 	// Seed drives the whole fault schedule; same seed, same faults.
 	Seed int64
 	// FailRate is the per-attempt probability of an injected transient
-	// failure, in [0, 1).
+	// failure, in [0, 1]. Exactly 1 (with MaxConsecutive 0) is a dead
+	// backend: every measurement fails, which is the scenario the service's
+	// graceful-degradation path (circuit breaker + analytic tier) exists
+	// for — and what its chaos e2e runs.
 	FailRate float64
 	// MaxConsecutive caps the injected failures in a row for one
 	// configuration (0 = uncapped). Keeping it below the engine's
@@ -61,9 +64,10 @@ func (c Config) Enabled() bool {
 type Injector struct {
 	cfg Config
 
-	failures atomic.Int64
-	spikes   atomic.Int64
-	noised   atomic.Int64
+	failures  atomic.Int64
+	spikes    atomic.Int64
+	noised    atomic.Int64
+	suspended atomic.Bool
 }
 
 // New returns an injector for cfg.
@@ -71,14 +75,17 @@ func New(cfg Config) *Injector {
 	if cfg.FailRate < 0 {
 		cfg.FailRate = 0
 	}
-	if cfg.FailRate >= 1 {
-		// An always-failing measurer can never produce a verdict; clamp so
-		// a mis-set rate degrades instead of deadlocking a search into
-		// quarantining everything.
-		cfg.FailRate = 0.95
+	if cfg.FailRate > 1 {
+		cfg.FailRate = 1
 	}
 	return &Injector{cfg: cfg}
 }
+
+// SetSuspended pauses (true) or resumes (false) all injection at runtime:
+// a suspended injector passes measurements straight through, faithfully —
+// how a chaos e2e stops the outage to watch the service recover. The
+// switch is instant for every wrapped measurer.
+func (in *Injector) SetSuspended(v bool) { in.suspended.Store(v) }
 
 // Stats are the faults injected so far, across all wrapped measurers.
 type Stats struct {
@@ -145,6 +152,10 @@ func (in *Injector) Wrap(salt uint64, measure autotune.Measurer) autotune.Fallib
 	}
 
 	return func(c conv.Config) (autotune.Measurement, bool, error) {
+		if in.suspended.Load() {
+			m, ok := measure(c)
+			return m, ok, nil
+		}
 		mu.Lock()
 		attempt := attempts[c]
 		attempts[c] = attempt + 1

@@ -72,6 +72,21 @@ type Config struct {
 	// BenchPath, when set, is the benchmark trajectory JSON served by
 	// GET /v1/bench (cmd/tuned points it at BENCH_autotune.json).
 	BenchPath string
+	// AnalyticOverflow degrades overload instead of shedding it: a request
+	// beyond the admission budget is answered immediately from the
+	// measurement-free analytic tier (200 with tier "analytic") instead of
+	// 429, and enqueued on the background refinement queue, which measures
+	// it once budget frees up and upgrades the cache in place.
+	AnalyticOverflow bool
+	// Breaker, when its Threshold is > 0, arms the measurement circuit
+	// breaker around every search's measurer: past the windowed
+	// failure-rate threshold the server answers from the analytic tier
+	// only, until half-open probe measurements restore service.
+	Breaker autotune.BreakerConfig
+	// RefineWorkers is how many background workers drain the refinement
+	// queue (default 1; the queue exists whenever AnalyticOverflow or the
+	// breaker is configured).
+	RefineWorkers int
 }
 
 // Server is the tuning service: an http.Handler plus the shared tuning
@@ -99,6 +114,34 @@ type Server struct {
 	lastFlushErr atomic.Pointer[string]
 
 	injector *chaos.Injector // nil unless Config.Chaos is enabled
+
+	// Graceful degradation (degrade.go): the breaker guarding the
+	// measurement seam, the per-arch analytic tier, the background
+	// refinement queue, and the provenance counters behind /metrics.
+	breaker  *autotune.Breaker // nil unless Config.Breaker is armed
+	degraded bool              // any degradation trigger configured
+
+	anMu     sync.Mutex
+	analytic map[string]*autotune.AnalyticDSE // per arch name
+	calStamp map[string]int                   // cache length at last calibration
+
+	refineCh      chan *refineJob
+	refineStop    chan struct{}
+	refineWG      sync.WaitGroup
+	refineMu      sync.Mutex
+	refinePending map[string]bool
+	refinedMu     sync.Mutex
+	refinedKeys   map[string]bool
+
+	tierMeasured    atomic.Int64 // verdicts served, by provenance
+	tierAnalytic    atomic.Int64
+	tierRefined     atomic.Int64
+	refineDone      atomic.Int64 // refinement jobs that measured their network
+	refineDropped   atomic.Int64 // jobs dropped on a full queue
+	refineFailed    atomic.Int64 // jobs whose measured sweep errored
+	breakerOpened   atomic.Int64 // transitions into each breaker state
+	breakerHalfOpen atomic.Int64
+	breakerClosed   atomic.Int64
 
 	snapStop chan struct{}
 	snapDone chan struct{}
@@ -147,6 +190,41 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Chaos.Enabled() {
 		s.injector = chaos.New(cfg.Chaos)
 	}
+	if cfg.Breaker.Enabled() {
+		bcfg := cfg.Breaker
+		prevTrans := bcfg.OnTransition
+		bcfg.OnTransition = func(from, to autotune.BreakerState) {
+			switch to {
+			case autotune.BreakerOpen:
+				s.breakerOpened.Add(1)
+			case autotune.BreakerHalfOpen:
+				s.breakerHalfOpen.Add(1)
+			case autotune.BreakerClosed:
+				s.breakerClosed.Add(1)
+			}
+			if prevTrans != nil {
+				prevTrans(from, to)
+			}
+		}
+		s.breaker = autotune.NewBreaker(bcfg)
+	}
+	s.degraded = cfg.AnalyticOverflow || s.breaker != nil || cfg.RequestTimeout > 0
+	s.analytic = make(map[string]*autotune.AnalyticDSE)
+	s.calStamp = make(map[string]int)
+	s.refinedKeys = make(map[string]bool)
+	if cfg.AnalyticOverflow || s.breaker != nil {
+		workers := cfg.RefineWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		s.refineCh = make(chan *refineJob, refineQueueCap)
+		s.refineStop = make(chan struct{})
+		s.refinePending = make(map[string]bool)
+		for i := 0; i < workers; i++ {
+			s.refineWG.Add(1)
+			go s.refineLoop()
+		}
+	}
 	if cfg.StatePath != "" {
 		if _, salvaged, err := s.cache.RecoverFile(cfg.StatePath); err != nil {
 			return nil, fmt.Errorf("tuned: state %s: %w", cfg.StatePath, err)
@@ -164,6 +242,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/tune", s.handleTune)
 	mux.HandleFunc("GET /v1/bench", s.handleBench)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s, nil
 }
@@ -182,6 +261,13 @@ func (s *Server) Close() error {
 		if s.snapStop != nil {
 			close(s.snapStop)
 			<-s.snapDone
+		}
+		if s.refineStop != nil {
+			// Stop the refinement workers (a job mid-measure finishes, a
+			// job mid-wait abandons) before the final flush so its snapshot
+			// includes their last completed work.
+			close(s.refineStop)
+			s.refineWG.Wait()
 		}
 	})
 	if s.cfg.StatePath == "" {
@@ -254,13 +340,21 @@ func (s *Server) runBatch(jobs []*tuneJob) {
 	s.cache.EvictExpired()
 }
 
-// wrapMeasurer is the NetworkOptions.WrapMeasurer hook: nil without chaos,
-// the seeded injector with it.
+// wrapMeasurer is the NetworkOptions.WrapMeasurer hook, composing the two
+// seams on the measurement path: the chaos injector (innermost, emulating
+// the fallible backend) and the circuit breaker (outermost, watching the
+// failure rate the engine actually sees). nil when neither is configured.
 func (s *Server) wrapMeasurer() func(autotune.Kind, shapes.ConvShape, autotune.Measurer) autotune.FallibleMeasurer {
-	if s.injector == nil {
+	if s.injector == nil && s.breaker == nil {
 		return nil
 	}
-	return s.injector.WrapNetwork()
+	return func(kind autotune.Kind, shape shapes.ConvShape, m autotune.Measurer) autotune.FallibleMeasurer {
+		fm := autotune.LiftMeasurer(m)
+		if s.injector != nil {
+			fm = s.injector.Wrap(chaos.SearchSalt(kind, shape), m)
+		}
+		return s.breaker.Wrap(fm)
+	}
 }
 
 // errJSON writes a JSON error body with the given status.
@@ -300,8 +394,24 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	layers := desc.NetworkLayers()
 	opts, winograd := s.requestOptions(desc.Options)
 
+	// Degradation trigger: a tripped breaker means a measured search could
+	// only burn its budget on fast-fails, so answer instantly from the
+	// analytic tier and let the refinement queue (and the next half-open
+	// probes) bring measured service back.
+	if s.breaker.State() == autotune.BreakerOpen {
+		s.serveAnalytic(w, arch, layers, opts, winograd)
+		return
+	}
+
 	cost := admissionCost(s.cache, arch, layers, opts.Budget, winograd)
 	if !s.adm.acquire(cost) {
+		if s.cfg.AnalyticOverflow {
+			// Degradation trigger: overload. Instead of shedding with 429,
+			// the overflow gets the instant analytic answer now and a
+			// background refinement slot once budget frees up.
+			s.serveAnalytic(w, arch, layers, opts, winograd)
+			return
+		}
 		s.rejected.Add(1)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 		errJSON(w, http.StatusTooManyRequests,
@@ -315,9 +425,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	job := &tuneJob{
 		key:  groupKey{arch: arch.Name, budget: opts.Budget, seed: opts.Seed, winograd: winograd},
 		arch: arch, layers: layers,
-		opts: autotune.NetworkOptions{Tune: opts, Workers: s.cfg.LayerWorkers,
-			Winograd: winograd, Warm: s.cfg.Warm, Resume: s.cfg.Resume,
-			WrapMeasurer: s.wrapMeasurer()},
+		opts: s.networkOptions(arch, opts, winograd),
 		done: make(chan struct{}),
 	}
 	s.batch.submit(job)
@@ -326,20 +434,45 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		errJSON(w, http.StatusInternalServerError, "%v", job.err)
 		return
 	}
+	s.markTiers(arch.Name, job.verdicts)
 	resp := repro.TuneResponse{Arch: arch.Name,
 		Verdicts:       repro.DescribeVerdicts(job.verdicts),
 		NetworkSeconds: autotune.NetworkSeconds(job.verdicts)}
+	allAnalytic := true
 	for _, v := range job.verdicts {
 		if v.Partial {
 			resp.Partial = true
-			break
 		}
+		if v.Tier != autotune.TierAnalytic {
+			allAnalytic = false
+		}
+	}
+	if allAnalytic {
+		// Every layer fell back to the analytic tier (the breaker tripped
+		// mid-run, or the backend died outright): the response is a
+		// complete estimate, flagged as such, and worth refining.
+		resp.Tier = autotune.TierAnalytic.String()
+		s.enqueueRefine(arch, layers, opts, winograd)
 	}
 	if resp.Partial {
 		s.partials.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// networkOptions assembles the sweep options of one admitted request; with
+// any degradation trigger configured the sweep gets the analytic fallback,
+// so a layer whose search dies still answers.
+func (s *Server) networkOptions(arch memsim.Arch, opts autotune.Options, winograd bool) autotune.NetworkOptions {
+	no := autotune.NetworkOptions{Tune: opts, Workers: s.cfg.LayerWorkers,
+		Winograd: winograd, Warm: s.cfg.Warm, Resume: s.cfg.Resume,
+		WrapMeasurer: s.wrapMeasurer()}
+	if s.degraded {
+		no.AnalyticFallback = true
+		no.AnalyticCalibration = s.analyticFor(arch).Calibration()
+	}
+	return no
 }
 
 // requestOptions resolves a request's overrides against the server
@@ -422,6 +555,21 @@ type Health struct {
 	// StateSalvaged is true when boot found a damaged state file and
 	// recovered what it could (the remainder is in StatePath+".corrupt").
 	StateSalvaged bool `json:"state_salvaged,omitempty"`
+	// Breaker is the measurement circuit breaker's state — "closed",
+	// "open" (analytic-only service), or "half-open" (probing) — omitted
+	// when no breaker is configured.
+	Breaker string `json:"breaker,omitempty"`
+	// AnalyticVerdicts / RefinedVerdicts count verdicts served from the
+	// analytic tier and measured upgrades of previously analytic answers;
+	// MeasuredVerdicts is the ordinary-tier count for comparison. All three
+	// are omitted until degradation machinery is configured.
+	AnalyticVerdicts int64 `json:"analytic_verdicts,omitempty"`
+	RefinedVerdicts  int64 `json:"refined_verdicts,omitempty"`
+	// RefineQueueDepth / RefinedNetworks expose the background refinement
+	// queue: jobs waiting, and analytically-answered networks measured so
+	// far.
+	RefineQueueDepth int   `json:"refine_queue_depth,omitempty"`
+	RefinedNetworks  int64 `json:"refined_networks,omitempty"`
 }
 
 // handleHealth is GET /healthz.
@@ -449,6 +597,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Quarantined:        s.quarantined.Load(),
 		PartialResponses:   s.partials.Load(),
 		StateSalvaged:      s.salvaged.Load(),
+		AnalyticVerdicts:   s.tierAnalytic.Load(),
+		RefinedVerdicts:    s.tierRefined.Load(),
+		RefinedNetworks:    s.refineDone.Load(),
+	}
+	if s.breaker != nil {
+		h.Breaker = s.breaker.State().String()
+	}
+	if s.refineCh != nil {
+		h.RefineQueueDepth = len(s.refineCh)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(h)

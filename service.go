@@ -221,6 +221,13 @@ type VerdictDescription struct {
 	// The server persists the truncated search state, so re-POSTing the
 	// same request continues (and eventually completes) the search.
 	Partial bool `json:"partial,omitempty"`
+	// Tier is the verdict's provenance: "measured" (a real search ran),
+	// "analytic" (a measurement-free estimate from the I/O-lower-bound time
+	// model, served when the server degrades under overload, a tripped
+	// measurement breaker, or a deadline), or "refined" (a measured upgrade
+	// of a previously analytic answer — re-POST served it from the cache
+	// the background refinement queue filled).
+	Tier string `json:"tier"`
 }
 
 // DescribeVerdicts wraps a verdict list for the wire.
@@ -234,7 +241,7 @@ func DescribeVerdicts(verdicts []LayerVerdict) []VerdictDescription {
 		out[i] = VerdictDescription{Layer: v.Layer.Name, Repeat: r,
 			Kind: v.Kind.String(), Config: DescribeConfig(v.Config),
 			Seconds: v.M.Seconds, GFLOPS: v.M.GFLOPS, Shared: v.Shared,
-			Partial: v.Partial}
+			Partial: v.Partial, Tier: v.Tier.String()}
 	}
 	return out
 }
@@ -249,4 +256,10 @@ type TuneResponse struct {
 	// server's -request-timeout and the response is best-so-far. Re-POST
 	// the identical request to continue the persisted searches.
 	Partial bool `json:"partial,omitempty"`
+	// Tier is "analytic" when every verdict is analytic — the whole
+	// response is a measurement-free estimate (the server was overloaded or
+	// its measurement breaker open). Re-POST later for measured verdicts;
+	// the background refinement queue measures analytically-served requests
+	// as budget frees up. Empty otherwise.
+	Tier string `json:"tier,omitempty"`
 }
