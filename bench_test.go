@@ -320,6 +320,54 @@ func BenchmarkTuneNetwork(b *testing.B) {
 	}
 }
 
+// BenchmarkTuneNetworkMixedKinds measures per-layer kernel choice on the
+// MobileNet-V1 sweep — the grouped/depthwise network where the choice
+// matters most. Two arms at the same per-layer budget: direct-only, and the
+// full candidate set (Winograd + FFT + implicit-GEMM filtered per layer by
+// the candidate rule). Widening the candidate set can only improve the kept
+// verdicts, so the mixed arm's repeat-weighted network time must be no
+// worse than direct-only's — the benchmark hard-fails otherwise. The cost
+// of the wider search (more searches per layer) is the wall-clock delta
+// tracked via BENCH_autotune.json.
+func BenchmarkTuneNetworkMixedKinds(b *testing.B) {
+	arch := memsim.V100
+	layers := models.MobileNetV1().NetworkLayers()
+	tune := autotune.DefaultOptions()
+	tune.Budget = 32
+	tune.Patience = 0
+	tune.Seed = 1
+	tune.MeasureLatency = 500 * time.Microsecond
+
+	arms := []struct {
+		name string
+		opts autotune.NetworkOptions
+	}{
+		{"direct-only", autotune.NetworkOptions{Tune: tune, Workers: 4}},
+		{"mixed", autotune.NetworkOptions{Tune: tune, Workers: 4, Winograd: true,
+			Kinds: []autotune.Kind{autotune.FFT, autotune.ImplicitGEMM}}},
+	}
+	net := make(map[string]float64)
+	for _, arm := range arms {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			var n float64
+			for i := 0; i < b.N; i++ {
+				verdicts, err := autotune.TuneNetwork(arch, layers, autotune.NewCache(), arm.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = autotune.NetworkSeconds(verdicts)
+			}
+			net[arm.name] = n
+			b.ReportMetric(n*1e3, "tuned-network-ms")
+		})
+	}
+	if net["mixed"] > net["direct-only"] {
+		b.Fatalf("mixed-kind network %.6gs worse than direct-only %.6gs at equal budget",
+			net["mixed"], net["direct-only"])
+	}
+}
+
 // BenchmarkTuneNetworkWarm isolates cross-layer warm-starting on the
 // ResNet-18 sweep. Three arms, each a fresh cache, every measurement
 // carrying the emulated hardware round-trip:

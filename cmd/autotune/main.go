@@ -4,7 +4,10 @@
 // Usage:
 //
 //	autotune -cin 96 -hw 27 -cout 256 -k 5 -pad 2 -arch V100 -budget 300
-//	autotune -algo winograd -cin 256 -hw 13 -cout 384 -k 3 -pad 1
+//	autotune -kind winograd -cin 256 -hw 13 -cout 384 -k 3 -pad 1
+//	autotune -kind fft -cin 96 -hw 27 -cout 256 -k 5 -pad 2    # tiled frequency-domain template
+//	autotune -kind igemm -cin 64 -hw 56 -cout 64 -k 3 -pad 1   # implicit-GEMM template
+//	autotune -groups 32 -cin 32 -hw 112 -cout 32 -k 3 -pad 1   # depthwise layer, group-aware space
 //	autotune -workers 8 -measure-latency 500us -cin 96 -hw 27 -cout 256 -k 5 -pad 2
 //	autotune -no-prune -cin 96 -hw 27 -cout 256 -k 5 -pad 2   # disable bound-guided pruning
 //	autotune -cache tune.json -budget 300 ...                 # persist verdict + engine state
@@ -29,8 +32,10 @@ func main() {
 	stride := flag.Int("stride", 1, "stride")
 	pad := flag.Int("pad", 2, "padding")
 	batch := flag.Int("batch", 1, "batch size")
+	groups := flag.Int("groups", 1, "channel groups (cin and cout must divide; >1 = grouped/depthwise)")
 	archName := flag.String("arch", "V100", "architecture name")
-	algo := flag.String("algo", "direct", "direct|winograd")
+	kindName := flag.String("kind", "direct", "direct|winograd|fft|igemm")
+	flag.StringVar(kindName, "algo", "direct", "alias for -kind (kept for old scripts)")
 	budget := flag.Int("budget", 300, "measurement budget")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "parallel measurement workers (result is identical for any count)")
@@ -47,7 +52,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s, err := repro.NewShape(*batch, *cin, *hw, *cout, *k, *stride, *pad)
+	s, err := repro.NewGroupedShape(*batch, *cin, *hw, *cout, *k, *stride, *pad, *groups)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -58,11 +63,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	kind := autotune.Direct
-	if *algo == "winograd" {
-		kind = autotune.Winograd
-	} else if *algo != "direct" {
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+	kind, err := repro.ParseKind(*kindName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -101,19 +104,9 @@ func main() {
 				return
 			}
 		}
-		switch kind {
-		case autotune.Direct:
-			trace, err = repro.ResumeDirect(arch, s, cache, opts)
-		case autotune.Winograd:
-			trace, err = repro.ResumeWinograd(arch, s, cache, opts)
-		}
+		trace, err = repro.ResumeKind(arch, s, kind, cache, opts)
 	} else {
-		switch kind {
-		case autotune.Direct:
-			trace, err = repro.TuneDirect(arch, s, opts)
-		case autotune.Winograd:
-			trace, err = repro.TuneWinograd(arch, s, opts)
-		}
+		trace, err = repro.TuneKind(arch, s, kind, opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -122,6 +115,7 @@ func main() {
 
 	fmt.Printf("layer:       %v\n", s)
 	fmt.Printf("arch:        %s\n", arch.Name)
+	fmt.Printf("kind:        %s\n", kind)
 	fmt.Printf("measurements %d (%d candidates pruned by the I/O lower bound), best found at #%d\n",
 		trace.Measurements, trace.Pruned, trace.ConvergedAt)
 	if replayed > 0 {
@@ -132,12 +126,7 @@ func main() {
 	fmt.Printf("simulated:   %.3gs (%.0f GFLOP/s)\n", trace.BestM.Seconds, trace.BestM.GFLOPS)
 
 	// Roofline diagnosis of the winner.
-	var res *repro.Result
-	if kind == autotune.Winograd {
-		res, err = repro.MeasureWinograd(arch, s, trace.Best)
-	} else {
-		res, err = repro.MeasureDirect(arch, s, trace.Best)
-	}
+	res, err := repro.MeasureKind(arch, s, kind, trace.Best)
 	if err == nil {
 		fmt.Printf("diagnosis:   %v\n\n", arch.Explain(res.Counts, res.Launch))
 	}

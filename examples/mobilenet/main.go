@@ -1,10 +1,12 @@
 // The mobilenet example extends the paper's end-to-end evaluation to a
 // depthwise-separable network (MobileNet v1, one of the architectures the
-// paper's introduction motivates). Grouped/depthwise layers are folded into
-// the batch dimension — G groups of a small convolution launched together —
-// which preserves I/O, flops and parallelism exactly, and the network-level
-// tuner runs unchanged on the folded shapes, tuning layers concurrently
-// against a shared cache.
+// paper's introduction motivates). Grouped/depthwise layers keep their
+// group structure all the way into the tuner: the searching domain tiles
+// the per-group channel extents (Cin/G, Cout/G) and the I/O lower bound
+// shrinks accordingly, so a depthwise layer is tuned as the tiny
+// convolution it is, not as a dense conv with G× the work. The per-layer
+// kernel choice also weighs the Winograd, FFT and implicit-GEMM templates
+// where they apply, keeping the fastest verdict per layer.
 //
 // Run with: go run ./examples/mobilenet
 package main
@@ -32,21 +34,26 @@ func main() {
 	layers := model.NetworkLayers()
 	// Warm enables cross-layer transfer: MobileNet's stages repeat the same
 	// geometry at shrinking resolution, exactly the case where later layers
-	// profit from the rows and incumbents of earlier ones.
+	// profit from the rows and incumbents of earlier ones. Kinds widens the
+	// per-layer candidate set beyond the direct dataflow.
 	verdicts, err := repro.TuneNetwork(arch, layers, repro.NewTuningCache(), repro.NetworkTuneOptions{
 		Budget:       48,
 		Seed:         1,
 		LayerWorkers: 4,
 		Warm:         true,
+		Winograd:     true,
+		Kinds:        []repro.Kind{repro.FFT, repro.ImplicitGEMM},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	var totalBase, totalTuned float64
-	fmt.Printf("%-8s %7s %28s %12s %12s %9s\n", "layer", "groups", "effective shape", "library", "tuned", "speedup")
+	fmt.Printf("%-8s %7s %9s %40s %12s %12s %9s\n", "layer", "groups", "kind", "shape", "library", "tuned", "speedup")
 	for i, v := range verdicts {
-		lib, err := repro.MeasureLibraryDirect(arch, v.Layer.Shape)
+		// The library baseline runs the batch-folded dense equivalent — the
+		// best a tuner blind to group structure could target.
+		lib, err := repro.MeasureLibraryDirect(arch, model.Layers[i].EffectiveShape())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,8 +61,8 @@ func main() {
 		best := v.M.Seconds * float64(v.Layer.Repeat)
 		totalBase += base
 		totalTuned += best
-		fmt.Printf("%-8s %7d %28v %10.0fus %10.0fus %8.2fx\n",
-			v.Layer.Name, model.Layers[i].Groups, v.Layer.Shape, base*1e6, best*1e6, base/best)
+		fmt.Printf("%-8s %7d %9s %40v %10.0fus %10.0fus %8.2fx\n",
+			v.Layer.Name, model.Layers[i].Groups, v.Kind, v.Layer.Shape, base*1e6, best*1e6, base/best)
 	}
 	fmt.Printf("\nend-to-end convolution time: library %.2fms, tuned %.2fms -> %.2fx speedup\n",
 		totalBase*1e3, totalTuned*1e3, totalBase/totalTuned)

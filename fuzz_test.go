@@ -16,6 +16,9 @@ func FuzzParseNetworkDescription(f *testing.F) {
 	f.Add([]byte(`{"arch":"","layers":[]}`))
 	f.Add([]byte(`{"arch":"V100","layers":[{"cin":-1,"hin":8,"cout":8,"hker":3}]}`))
 	f.Add([]byte(`{"arch":"V100","layers":[{"cin":65537,"hin":8,"cout":8,"hker":3}]}`))
+	f.Add([]byte(`{"arch":"V100","layers":[{"cin":32,"hin":112,"cout":32,"hker":3,"pad":1,"groups":32}],"options":{"kinds":["fft","igemm"]}}`))
+	f.Add([]byte(`{"arch":"V100","layers":[{"cin":6,"hin":8,"cout":9,"hker":3,"groups":4}]}`))
+	f.Add([]byte(`{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3}],"options":{"kinds":["karatsuba"]}}`))
 	f.Add([]byte(`{"arch":"V100","unknown":true}`))
 	f.Add([]byte(`{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3,"pad":1}]}{}`))
 	f.Add([]byte(`[`))

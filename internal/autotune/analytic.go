@@ -123,12 +123,22 @@ func (sp *Space) analyticFloor(c conv.Config) float64 {
 		return 0
 	}
 	var l memsim.Launch
-	if sp.Kind == Winograd {
+	switch sp.Kind {
+	case Winograd:
 		if c.WinogradE < 2 {
 			return 0
 		}
 		l = conv.WinogradFusedLaunch(sp.Shape, c)
-	} else {
+	case FFT:
+		lh, lw := conv.FFTGrid(sp.Shape)
+		cpg := sp.Shape.Cout / sp.Shape.G()
+		if lw%c.TileX != 0 || lh%c.TileY != 0 || c.TileZ > cpg || cpg%c.TileZ != 0 {
+			return 0
+		}
+		l = conv.FFTTiledLaunch(sp.Shape, c)
+	case ImplicitGEMM:
+		l = conv.IGEMMTiledLaunch(sp.Shape, c)
+	default:
 		l = conv.DirectTiledLaunch(sp.Shape, c)
 	}
 	if l.Blocks < 1 || l.ThreadsPerBlock < 1 {
@@ -158,11 +168,21 @@ func (sp *Space) analyticFloor(c conv.Config) float64 {
 	}
 	tGlobal := sp.boundIO(c.SharedPerBlock, c.WinogradE) * 4 / (sp.Arch.BandwidthGBs * 1e9 * eff)
 	flops := sp.flopsFloor
-	if sp.Kind == Winograd {
+	switch sp.Kind {
+	case Winograd:
 		flops = sp.winoFlopsFloor(c.WinogradE)
+	case FFT:
+		flops = sp.fftP3Flops
 	}
 	tCompute := flops / (sp.Arch.PeakGFLOPS * 1e9 * hide)
-	return sched + math.Max(tGlobal, tCompute)
+	t := sched + math.Max(tGlobal, tCompute)
+	if sp.Kind == FFT {
+		// The transform phases are costed exactly, so they join the floor as
+		// a constant — still admissible, since every FFT measurement pays
+		// exactly this on top of its phase-3 time.
+		t += sp.fftFixedSec
+	}
+	return t
 }
 
 // winoFlopsFloor lower-bounds the fused Winograd kernel's arithmetic for
@@ -180,8 +200,13 @@ func (sp *Space) winoFlopsFloor(e int) float64 {
 // measurable mirrors the validation the Dry evaluators (and MemoMeasure)
 // apply, so an analytic winner is never a config measurement would reject.
 func (sp *Space) measurable(c conv.Config) bool {
-	if sp.Kind == Winograd {
+	switch sp.Kind {
+	case Winograd:
 		return c.ValidateWinograd(sp.Shape, sp.Arch) == nil
+	case FFT:
+		return c.ValidateFFT(sp.Shape, sp.Arch) == nil
+	case ImplicitGEMM:
+		return c.ValidateIGEMM(sp.Shape, sp.Arch) == nil
 	}
 	return c.ValidateDirect(sp.Shape, sp.Arch) == nil
 }
@@ -366,11 +391,23 @@ func (a *AnalyticDSE) Layer(kind Kind, s shapes.ConvShape) (AnalyticVerdict, err
 	return sp.Analytic(a.Calibration())
 }
 
-// Network is the measurement-free analog of TuneNetwork: every layer gets
-// an analytic verdict (Tier: TierAnalytic), choosing direct vs. Winograd by
-// the analytic estimate under the same admission rule the measured sweep
-// uses. It never blocks on a measurement and never consults a cache.
+// Network is the measurement-free analog of TuneNetwork for the classic
+// direct-vs-Winograd choice; NetworkKinds generalizes it to any candidate
+// kind set.
 func (a *AnalyticDSE) Network(layers []NetworkLayer, winograd bool) ([]LayerVerdict, error) {
+	var kinds []Kind
+	if winograd {
+		kinds = []Kind{Winograd}
+	}
+	return a.NetworkKinds(layers, kinds)
+}
+
+// NetworkKinds is the measurement-free analog of TuneNetwork with per-layer
+// kernel choice: every layer gets an analytic verdict (Tier: TierAnalytic),
+// choosing among Direct and the requested kinds by the analytic estimate
+// under the same candidate-filtering rule the measured sweep uses. It never
+// blocks on a measurement and never consults a cache.
+func (a *AnalyticDSE) NetworkKinds(layers []NetworkLayer, kinds []Kind) ([]LayerVerdict, error) {
 	if len(layers) == 0 {
 		return nil, fmt.Errorf("autotune: no layers to tune")
 	}
@@ -382,12 +419,12 @@ func (a *AnalyticDSE) Network(layers []NetworkLayer, winograd bool) ([]LayerVerd
 		}
 		v := LayerVerdict{Layer: l, Kind: Direct, Config: av.Config,
 			M: Measurement{Seconds: av.Seconds, GFLOPS: av.GFLOPS}, Tier: TierAnalytic}
-		if winograd && l.Shape.WinogradOK() && l.Shape.Hker == 3 {
-			// Winograd may legitimately not admit the layer; the direct
+		for _, kind := range candidateKinds(l.Shape, NetworkOptions{Kinds: kinds})[1:] {
+			// A kind may legitimately not admit the layer; the incumbent
 			// estimate stands alone then — mirroring the measured sweep.
-			if wv, werr := a.Layer(Winograd, l.Shape); werr == nil && wv.Seconds < v.M.Seconds {
-				v.Kind, v.Config = Winograd, wv.Config
-				v.M = Measurement{Seconds: wv.Seconds, GFLOPS: wv.GFLOPS}
+			if kv, kerr := a.Layer(kind, l.Shape); kerr == nil && kv.Seconds < v.M.Seconds {
+				v.Kind, v.Config = kind, kv.Config
+				v.M = Measurement{Seconds: kv.Seconds, GFLOPS: kv.GFLOPS}
 			}
 		}
 		verdicts[i] = v
@@ -396,17 +433,18 @@ func (a *AnalyticDSE) Network(layers []NetworkLayer, winograd bool) ([]LayerVerd
 }
 
 // analyticLayerVerdict answers one layer from the analytic tier using the
-// already-built task spaces — TuneNetwork's degradation path for a layer
-// whose search errored. ok is false when neither space can rank anything.
-func analyticLayerVerdict(l NetworkLayer, direct, wino *Space, calibration float64) (LayerVerdict, bool) {
-	av, err := direct.Analytic(calibration)
-	best := LayerVerdict{Layer: l, Kind: Direct, Config: av.Config,
+// already-built task spaces (the mandatory Direct space first) —
+// TuneNetwork's degradation path for a layer whose search errored. ok is
+// false when no space can rank anything.
+func analyticLayerVerdict(l NetworkLayer, spaces []*Space, calibration float64) (LayerVerdict, bool) {
+	av, err := spaces[0].Analytic(calibration)
+	best := LayerVerdict{Layer: l, Kind: spaces[0].Kind, Config: av.Config,
 		M: Measurement{Seconds: av.Seconds, GFLOPS: av.GFLOPS}, Tier: TierAnalytic}
 	ok := err == nil
-	if wino != nil {
-		if wv, werr := wino.Analytic(calibration); werr == nil && (!ok || wv.Seconds < best.M.Seconds) {
-			best.Kind, best.Config = Winograd, wv.Config
-			best.M = Measurement{Seconds: wv.Seconds, GFLOPS: wv.GFLOPS}
+	for _, sp := range spaces[1:] {
+		if kv, kerr := sp.Analytic(calibration); kerr == nil && (!ok || kv.Seconds < best.M.Seconds) {
+			best.Kind, best.Config = sp.Kind, kv.Config
+			best.M = Measurement{Seconds: kv.Seconds, GFLOPS: kv.GFLOPS}
 			ok = true
 		}
 	}

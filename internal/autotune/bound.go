@@ -54,12 +54,25 @@ func (sp *Space) BoundSeconds(c conv.Config) float64 {
 		return 0
 	}
 	var l memsim.Launch
-	if sp.Kind == Winograd {
+	switch sp.Kind {
+	case Winograd:
 		if c.WinogradE < 2 {
 			return 0
 		}
 		l = conv.WinogradFusedLaunch(sp.Shape, c)
-	} else {
+	case FFT:
+		if c.TileX*c.TileY == 0 || c.TileZ == 0 {
+			return 0
+		}
+		lh, lw := conv.FFTGrid(sp.Shape)
+		cpg := sp.Shape.Cout / sp.Shape.G()
+		if lw%c.TileX != 0 || lh%c.TileY != 0 || c.TileZ > cpg || cpg%c.TileZ != 0 {
+			return 0
+		}
+		l = conv.FFTTiledLaunch(sp.Shape, c)
+	case ImplicitGEMM:
+		l = conv.IGEMMTiledLaunch(sp.Shape, c)
+	default:
 		l = conv.DirectTiledLaunch(sp.Shape, c)
 	}
 	if l.Blocks < 1 || l.ThreadsPerBlock < 1 {
@@ -73,12 +86,21 @@ func (sp *Space) BoundSeconds(c conv.Config) float64 {
 		return math.Inf(1)
 	}
 	t := sched + sp.boundIO(c.SharedPerBlock, c.WinogradE)*4/(sp.Arch.BandwidthGBs*1e9)
-	if sp.Kind == Direct {
-		// Direct-dataflow arithmetic is the same for every tiling, so peak
-		// compute is a second configuration-independent floor.
+	switch sp.Kind {
+	case Direct, ImplicitGEMM:
+		// The tiled direct dataflows' arithmetic is the same for every
+		// tiling, so peak compute is a second configuration-independent
+		// floor.
 		if alt := sched + sp.flopsFloor/(sp.Arch.PeakGFLOPS*1e9); alt > t {
 			t = alt
 		}
+	case FFT:
+		// The transform phases cost the same for every config; the tunable
+		// phase is floored by its bandwidth/compute roofline.
+		if alt := sched + sp.fftP3Flops/(sp.Arch.PeakGFLOPS*1e9); alt > t {
+			t = alt
+		}
+		t += sp.fftFixedSec
 	}
 	return t
 }
@@ -93,9 +115,14 @@ func (sp *Space) boundIO(sb, e int) float64 {
 	if hit {
 		return q
 	}
-	if sp.Kind == Winograd {
+	switch sp.Kind {
+	case Winograd:
 		q = bounds.WinogradLowerBound(sp.Shape, e, sb)
-	} else {
+	case FFT:
+		q = bounds.FFTPhase3LowerBound(sp.Shape, sb)
+	default:
+		// Direct and implicit-GEMM share the convolution DAG, so Theorem
+		// 4.12 bounds both (group-aware through KernelSize).
 		q = bounds.DirectLowerBound(sp.Shape, sb)
 	}
 	sp.bmemo.mu.Lock()

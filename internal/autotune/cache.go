@@ -130,6 +130,10 @@ func entriesChecksum(entries []CacheEntry) (string, error) {
 // field names, decoupling the file format from internal refactors.
 type cachedShape struct {
 	Batch, Cin, Hin, Win, Cout, Hker, Wker, Stride, Pad int
+	// Groups is 0 on entries from files written before grouped convolutions
+	// existed; the zero value means dense (1 group), so old files load
+	// unchanged.
+	Groups int
 }
 
 type cachedConfig struct {
@@ -141,14 +145,14 @@ type cachedConfig struct {
 }
 
 func shapeToCached(s shapes.ConvShape) cachedShape {
-	return cachedShape{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad}
+	return cachedShape{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad, s.Groups}
 }
 
 func (cs cachedShape) shape() shapes.ConvShape {
 	return shapes.ConvShape{
 		Batch: cs.Batch, Cin: cs.Cin, Hin: cs.Hin, Win: cs.Win,
 		Cout: cs.Cout, Hker: cs.Hker, Wker: cs.Wker,
-		Strid: cs.Stride, Pad: cs.Pad,
+		Strid: cs.Stride, Pad: cs.Pad, Groups: cs.Groups,
 	}
 }
 
@@ -185,13 +189,11 @@ func (e CacheEntry) history() []MeasuredConfig {
 // unrecognized: a corrupt or future-format cache file must fail loudly
 // instead of silently poisoning verdicts as Direct.
 func kindFromString(s string) (Kind, error) {
-	switch s {
-	case Direct.String():
-		return Direct, nil
-	case Winograd.String():
-		return Winograd, nil
+	k, err := ParseKind(s)
+	if err != nil {
+		return Direct, fmt.Errorf("autotune: unknown cache kind %q", s)
 	}
-	return Direct, fmt.Errorf("autotune: unknown cache kind %q", s)
+	return k, nil
 }
 
 // NewCache returns an empty cache.
@@ -205,7 +207,7 @@ func NewCache() *Cache {
 }
 
 // cacheKeyBuf comfortably holds any key: an arch name, a kind name and
-// nine small integers.
+// ten small integers.
 const cacheKeyBuf = 96
 
 // appendCacheKey builds the cache key of (arch, kind, shape) into dst with
@@ -217,7 +219,7 @@ func appendCacheKey(dst []byte, archName string, kind Kind, s shapes.ConvShape) 
 	dst = append(dst, archName...)
 	dst = append(dst, '|')
 	dst = append(dst, kind.String()...)
-	for _, v := range [...]int{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad} {
+	for _, v := range [...]int{s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad, s.G()} {
 		dst = append(dst, '|')
 		dst = strconv.AppendInt(dst, int64(v), 10)
 	}

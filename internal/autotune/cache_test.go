@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/conv"
+	"repro/internal/shapes"
 )
 
 func TestCacheRoundTrip(t *testing.T) {
@@ -98,11 +99,11 @@ func validEntryJSON(kind string) string {
 // poison every verdict served from it.
 func TestCacheLoadRejectsUnknownKind(t *testing.T) {
 	for name, payload := range map[string]string{
-		"v1 array":    `[` + validEntryJSON("fft") + `]`,
-		"v2 envelope": `{"version":2,"entries":[` + validEntryJSON("fft") + `]}`,
+		"v1 array":    `[` + validEntryJSON("karatsuba") + `]`,
+		"v2 envelope": `{"version":2,"entries":[` + validEntryJSON("karatsuba") + `]}`,
 		// A valid entry ahead of the bad one must not be committed either:
 		// a rejected file leaves the cache untouched.
-		"partial": `{"version":2,"entries":[` + validEntryJSON("direct") + `,` + validEntryJSON("fft") + `]}`,
+		"partial": `{"version":2,"entries":[` + validEntryJSON("direct") + `,` + validEntryJSON("karatsuba") + `]}`,
 	} {
 		c := NewCache()
 		err := c.Load(strings.NewReader(payload))
@@ -113,6 +114,45 @@ func TestCacheLoadRejectsUnknownKind(t *testing.T) {
 		}
 		if c.Len() != 0 {
 			t.Errorf("%s: rejected load still stored %d entries", name, c.Len())
+		}
+	}
+}
+
+// Every registered algorithm kind — and a grouped shape — must survive a
+// Save/Load round trip through the v2 envelope: the per-layer kernel choice
+// persists its verdicts under "fft"/"igemm" names and depthwise shapes.
+func TestCacheRoundTripAllKinds(t *testing.T) {
+	c := NewCache()
+	s := layer()
+	grouped := s
+	grouped.Cin, grouped.Cout, grouped.Groups = 96, 96, 4
+	cfg := conv.Config{TileX: 9, TileY: 3, TileZ: 8, ThreadsX: 3, ThreadsY: 3, ThreadsZ: 2,
+		SharedPerBlock: 4096}
+	for i, kind := range Kinds {
+		c.Put(arch.Name, kind, s, cfg, Measurement{Seconds: float64(i+1) * 1e-4, GFLOPS: 100})
+		c.Put(arch.Name, kind, grouped, cfg, Measurement{Seconds: float64(i+1) * 2e-4, GFLOPS: 50})
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewCache()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatalf("round trip rejected: %v", err)
+	}
+	if restored.Len() != c.Len() {
+		t.Fatalf("Len=%d after reload, want %d", restored.Len(), c.Len())
+	}
+	for i, kind := range Kinds {
+		if _, m, ok := restored.Get(arch.Name, kind, s); !ok || m.Seconds != float64(i+1)*1e-4 {
+			t.Errorf("%v dense entry lost: %v %v", kind, m, ok)
+		}
+		if _, m, ok := restored.Get(arch.Name, kind, grouped); !ok || m.Seconds != float64(i+1)*2e-4 {
+			t.Errorf("%v grouped entry lost: %v %v", kind, m, ok)
+		}
+		// The grouped and dense entries must be distinct keys.
+		if _, mg, _ := restored.Get(arch.Name, kind, grouped); mg.Seconds == float64(i+1)*1e-4 {
+			t.Errorf("%v grouped entry collides with dense", kind)
 		}
 	}
 }
@@ -196,15 +236,20 @@ func TestCacheStateRoundTrip(t *testing.T) {
 // not cross-version stability.)
 func TestCacheKeyFormat(t *testing.T) {
 	s := layer()
-	for _, kind := range []Kind{Direct, Winograd} {
-		want := fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d", arch.Name, kind,
-			s.Batch, s.Cin, s.Hin, s.Win, s.Cout, s.Hker, s.Wker, s.Strid, s.Pad)
-		if got := cacheKey(arch.Name, kind, s); got != want {
-			t.Errorf("cacheKey = %q, want %q", got, want)
-		}
-		var kb [cacheKeyBuf]byte
-		if got := string(appendCacheKey(kb[:0], arch.Name, kind, s)); got != want {
-			t.Errorf("appendCacheKey = %q, want %q", got, want)
+	grouped := s
+	grouped.Cin, grouped.Cout, grouped.Groups = 96, 96, 4
+	for _, sh := range []shapes.ConvShape{s, grouped} {
+		for _, kind := range Kinds {
+			want := fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d", arch.Name, kind,
+				sh.Batch, sh.Cin, sh.Hin, sh.Win, sh.Cout,
+				sh.Hker, sh.Wker, sh.Strid, sh.Pad, sh.G())
+			if got := cacheKey(arch.Name, kind, sh); got != want {
+				t.Errorf("cacheKey = %q, want %q", got, want)
+			}
+			var kb [cacheKeyBuf]byte
+			if got := string(appendCacheKey(kb[:0], arch.Name, kind, sh)); got != want {
+				t.Errorf("appendCacheKey = %q, want %q", got, want)
+			}
 		}
 	}
 }

@@ -27,14 +27,27 @@ func (sp *Space) FeaturesInto(dst []float64, c conv.Config) []float64 {
 		r = float64(s.Hker * s.Hker)
 	}
 	vol := float64(c.TileX * c.TileY * c.TileZ)
-	blocksX := math.Ceil(float64(s.Wout()) / float64(c.TileX))
-	blocksY := math.Ceil(float64(s.Hout()) / float64(c.TileY))
+	outW, outH := s.Wout(), s.Hout()
+	if sp.Kind == FFT {
+		// The FFT phase-3 grid is the padded power-of-two frequency plane,
+		// not the spatial output — feature geometry follows what the blocks
+		// actually tile.
+		lh, lw := conv.FFTGrid(s)
+		outW, outH = lw, lh
+	}
+	blocksX := math.Ceil(float64(outW) / float64(c.TileX))
+	blocksY := math.Ceil(float64(outH) / float64(c.TileY))
 	blocksZ := math.Ceil(float64(s.Cout) / float64(c.TileZ))
 	blocks := blocksX * blocksY * blocksZ * float64(s.Batch)
 	var need int
-	if sp.Kind == Winograd {
+	switch sp.Kind {
+	case Winograd:
 		need = conv.WinogradSharedNeed(s, c)
-	} else {
+	case FFT:
+		need = conv.FFTSharedNeed(c)
+	case ImplicitGEMM:
+		need = conv.IGEMMSharedNeed(s, c)
+	default:
 		need = conv.DirectSharedNeed(s, c)
 	}
 	return append(dst,

@@ -15,6 +15,8 @@ func FuzzCacheLoad(f *testing.F) {
 	// Version-2 envelope with engine state.
 	f.Add([]byte(`{"version":2,"entries":[{"arch":"V100","kind":"winograd","shape":{"Batch":1,"Cin":16,"Hin":8,"Win":8,"Cout":8,"Hker":3,"Wker":3,"Stride":1,"Pad":1},"config":{"TileX":1,"TileY":1,"TileZ":1,"ThreadsX":8,"ThreadsY":8,"ThreadsZ":1,"SharedPerBlock":0,"Layout":0,"WinogradE":2},"seconds":0.002,"gflops":5,"rows":[{"config":{"TileX":1,"TileY":1,"TileZ":1,"ThreadsX":8,"ThreadsY":8,"ThreadsZ":1,"SharedPerBlock":0,"Layout":0,"WinogradE":2},"seconds":0.002,"gflops":5,"ok":true}],"curve":[5],"budget":4}]}`))
 	// Malformed variants the loader must reject gracefully.
+	f.Add([]byte(`{"version":2,"entries":[{"arch":"V100","kind":"fft","shape":{"Batch":1,"Cin":16,"Hin":8,"Win":8,"Cout":8,"Hker":3,"Wker":3,"Stride":1,"Pad":1},"config":{"TileX":16,"TileY":1,"TileZ":4,"ThreadsX":16,"ThreadsY":1,"ThreadsZ":4,"SharedPerBlock":4096,"Layout":0,"WinogradE":0},"seconds":0.003,"gflops":4}]}`))
+	f.Add([]byte(`{"version":2,"entries":[{"arch":"V100","kind":"igemm","shape":{"Batch":1,"Cin":16,"Hin":8,"Win":8,"Cout":16,"Hker":3,"Wker":3,"Stride":1,"Pad":1,"Groups":4},"config":{"TileX":4,"TileY":4,"TileZ":2,"ThreadsX":4,"ThreadsY":4,"ThreadsZ":2,"SharedPerBlock":2048,"Layout":0,"WinogradE":0},"seconds":0.001,"gflops":8}]}`))
 	f.Add([]byte(`{"version":3,"entries":[]}`))
 	f.Add([]byte(`[{"arch":"V100","kind":"im2col"}]`))
 	f.Add([]byte(`[{"arch":"V100","kind":"direct","seconds":-1}]`))

@@ -50,6 +50,13 @@ type MemoMeasure struct {
 	kind     Kind
 	shapeErr error // non-nil when the shape itself is invalid
 
+	// fixedSec/fixedFlops are the FFT pipeline's config-independent
+	// transform-phase cost (FFT kind only), computed once at construction;
+	// each measurement adds them so results stay bit-identical to
+	// conv.DryFFTTiled.
+	fixedSec   float64
+	fixedFlops int64
+
 	mu   sync.RWMutex
 	memo map[countsKey]countsEntry
 	full map[conv.Config]measEntry
@@ -59,10 +66,14 @@ type MemoMeasure struct {
 // shared by every strategy and worker tuning the same triple — the executor
 // calls Measure concurrently when Options.Workers > 1.
 func NewMemoMeasure(arch memsim.Arch, s shapes.ConvShape, kind Kind) *MemoMeasure {
-	return &MemoMeasure{arch: arch, s: s, kind: kind,
+	mm := &MemoMeasure{arch: arch, s: s, kind: kind,
 		shapeErr: s.Validate(),
 		memo:     make(map[countsKey]countsEntry),
 		full:     make(map[conv.Config]measEntry)}
+	if kind == FFT && mm.shapeErr == nil {
+		mm.fixedSec, mm.fixedFlops = conv.FFTFixedCost(arch, s)
+	}
+	return mm
 }
 
 // Measurer returns the Measurer func of this memo (the type the engine
@@ -95,11 +106,20 @@ func (mm *MemoMeasure) measureCold(c conv.Config) (Measurement, bool) {
 	if mm.shapeErr != nil {
 		return Measurement{}, false
 	}
-	if mm.kind == Winograd {
+	switch mm.kind {
+	case Winograd:
 		if err := c.ValidateWinograd(mm.s, mm.arch); err != nil {
 			return Measurement{}, false
 		}
-	} else {
+	case FFT:
+		if err := c.ValidateFFT(mm.s, mm.arch); err != nil {
+			return Measurement{}, false
+		}
+	case ImplicitGEMM:
+		if err := c.ValidateIGEMM(mm.s, mm.arch); err != nil {
+			return Measurement{}, false
+		}
+	default:
 		if err := c.ValidateDirect(mm.s, mm.arch); err != nil {
 			return Measurement{}, false
 		}
@@ -120,27 +140,39 @@ func (mm *MemoMeasure) measureCold(c conv.Config) (Measurement, bool) {
 	}
 
 	var l memsim.Launch
-	if mm.kind == Winograd {
+	switch mm.kind {
+	case Winograd:
 		l = conv.WinogradFusedLaunch(mm.s, c)
-	} else {
+	case FFT:
+		l = conv.FFTTiledLaunch(mm.s, c)
+	case ImplicitGEMM:
+		l = conv.IGEMMTiledLaunch(mm.s, c)
+	default:
 		l = conv.DirectTiledLaunch(mm.s, c)
 	}
-	seconds := mm.arch.Time(ent.counts, l)
+	seconds := mm.fixedSec + mm.arch.Time(ent.counts, l)
 	if math.IsInf(seconds, 1) {
 		return Measurement{}, false
 	}
 	// GFLOPS = Flops/seconds/1e9, exactly what arch.GFLOPS computes from
-	// the same finite Time — without running the time model twice.
-	return Measurement{Seconds: seconds, GFLOPS: float64(ent.counts.Flops) / seconds / 1e9}, true
+	// the same finite Time — without running the time model twice. For FFT
+	// the fixed transform phases join both terms, matching conv.DryFFTTiled.
+	flops := ent.counts.Flops + mm.fixedFlops
+	return Measurement{Seconds: seconds, GFLOPS: float64(flops) / seconds / 1e9}, true
 }
 
 func (mm *MemoMeasure) compute(c conv.Config) countsEntry {
-	if mm.kind == Winograd {
+	switch mm.kind {
+	case Winograd:
 		counts, err := conv.WinogradFusedCounts(mm.s, c)
 		if err != nil {
 			return countsEntry{}
 		}
 		return countsEntry{counts: counts, ok: true}
+	case FFT:
+		return countsEntry{counts: conv.FFTTiledCounts(mm.s, c), ok: true}
+	case ImplicitGEMM:
+		return countsEntry{counts: conv.IGEMMTiledCounts(mm.s, c), ok: true}
 	}
 	return countsEntry{counts: conv.DirectTiledCounts(mm.s, c), ok: true}
 }

@@ -30,8 +30,8 @@ import (
 // on load, in which case already-covered families skip their cold wave.
 
 // NetworkLayer is one layer of a network-level tuning request. Grouped or
-// depthwise layers should be folded to their effective shape first (see
-// models.GroupedLayer.EffectiveShape).
+// depthwise layers carry their group count in Shape.Groups and tune with
+// group-aware counts and bounds — do not fold them to a dense shape.
 type NetworkLayer struct {
 	Name   string
 	Shape  shapes.ConvShape
@@ -53,6 +53,12 @@ type NetworkOptions struct {
 	// layers and keeps the better verdict, as the paper's end-to-end
 	// evaluation does.
 	Winograd bool
+	// Kinds lists additional dataflow kinds to tune per layer (Direct is
+	// always searched; Winograd here is equivalent to the Winograd flag).
+	// Each candidate kind is filtered by the layer's signature — FFT only
+	// for unit-stride layers with kernels of at least 3×3, Winograd only
+	// where it admits — and the best measured verdict per layer wins.
+	Kinds []Kind
 	// Warm enables cross-layer warm-starting: finished searches feed a
 	// per-(arch, kind) transfer pool of normalized training rows and
 	// incumbent seeds, and subsequent layers start from it instead of
@@ -248,6 +254,42 @@ func winogradDefaultE(k Kind) int {
 	return 0
 }
 
+// candidateKinds filters the requested kinds by a layer's signature — the
+// torchinductor idiom: cheap static gating decides which kernel templates
+// even enter the search, and the shared cache then dedups identical
+// (kind, shape) searches across layers. Direct is always a candidate (it
+// admits every shape and anchors the sweep's error handling); Winograd only
+// where the paper's dataflow applies, FFT only for unit-stride layers with
+// kernels of at least 3×3 (below that the transform constant cannot win).
+// CandidateKinds is the exported form of the gating, for callers that must
+// predict the sweep's search set without running it (the service's
+// admission accounting).
+func CandidateKinds(s shapes.ConvShape, winograd bool, kinds []Kind) []Kind {
+	return candidateKinds(s, NetworkOptions{Winograd: winograd, Kinds: kinds})
+}
+
+func candidateKinds(s shapes.ConvShape, opts NetworkOptions) []Kind {
+	want := func(k Kind) bool {
+		for _, kk := range opts.Kinds {
+			if kk == k {
+				return true
+			}
+		}
+		return false
+	}
+	kinds := []Kind{Direct}
+	if (opts.Winograd || want(Winograd)) && s.WinogradOK() && s.Hker == 3 {
+		kinds = append(kinds, Winograd)
+	}
+	if want(FFT) && s.Strid == 1 && s.Hker >= 3 && s.Wker >= 3 {
+		kinds = append(kinds, FFT)
+	}
+	if want(ImplicitGEMM) {
+		kinds = append(kinds, ImplicitGEMM)
+	}
+	return kinds
+}
+
 // TuneNetwork tunes every layer of a network with the paper's engine,
 // fanning the deduplicated (kind, shape) searches across opts.Workers
 // goroutines against a shared cache. Verdicts come back in layer order
@@ -298,21 +340,21 @@ func TuneNetworkContext(ctx context.Context, arch memsim.Arch, layers []NetworkL
 		taskIdx[key] = len(tasks) - 1
 		return len(tasks) - 1, nil
 	}
-	directOf := make([]int, len(layers))
-	winoOf := make([]int, len(layers))
+	// tasksOf[i] lists the task index per candidate kind of layer i, the
+	// mandatory Direct search first.
+	tasksOf := make([][]int, len(layers))
 	for i, l := range layers {
-		di, err := addTask(Direct, l.Shape, i)
-		if err != nil {
-			return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, err)
-		}
-		directOf[i] = di
-		winoOf[i] = -1
-		if opts.Winograd && l.Shape.WinogradOK() && l.Shape.Hker == 3 {
-			// Winograd may legitimately not admit a layer; the direct
-			// verdict stands alone then.
-			if wi, werr := addTask(Winograd, l.Shape, i); werr == nil {
-				winoOf[i] = wi
+		for _, kind := range candidateKinds(l.Shape, opts) {
+			ti, err := addTask(kind, l.Shape, i)
+			if err != nil {
+				if kind == Direct {
+					return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, err)
+				}
+				// A non-direct kind may legitimately not admit a layer; the
+				// remaining candidates stand alone then.
+				continue
 			}
+			tasksOf[i] = append(tasksOf[i], ti)
 		}
 	}
 
@@ -367,27 +409,33 @@ func TuneNetworkContext(ctx context.Context, arch memsim.Arch, layers []NetworkL
 
 	verdicts := make([]LayerVerdict, len(layers))
 	for i, l := range layers {
-		dt := tasks[directOf[i]]
+		dt := tasks[tasksOf[i][0]] // the mandatory Direct search
 		if dt.err != nil {
 			if !opts.AnalyticFallback {
 				return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, dt.err)
 			}
-			// Degraded path. If the Winograd twin of the failed direct
-			// search measured fine, its real verdict wins; otherwise the
-			// layer is answered by the analytic tier so the sweep stays
-			// complete. Only an unrankable space still fails the sweep.
-			if wi := winoOf[i]; wi >= 0 {
-				if wt := tasks[wi]; wt.err == nil {
-					verdicts[i] = LayerVerdict{Layer: l, Kind: Winograd, Config: wt.cfg, M: wt.m,
-						Shared: wt.shared || wt.owner != i, Partial: wt.partial}
-					continue
+			// Degraded path. If any alternative kind of the failed direct
+			// search measured fine, the best such real verdict wins;
+			// otherwise the layer is answered by the analytic tier so the
+			// sweep stays complete. Only an unrankable space still fails
+			// the sweep.
+			best := -1
+			for _, ti := range tasksOf[i][1:] {
+				if t := tasks[ti]; t.err == nil && (best < 0 || t.m.Seconds < tasks[best].m.Seconds) {
+					best = ti
 				}
 			}
-			var wsp *Space
-			if wi := winoOf[i]; wi >= 0 {
-				wsp = tasks[wi].sp
+			if best >= 0 {
+				t := tasks[best]
+				verdicts[i] = LayerVerdict{Layer: l, Kind: t.kind, Config: t.cfg, M: t.m,
+					Shared: t.shared || t.owner != i, Partial: t.partial}
+				continue
 			}
-			av, ok := analyticLayerVerdict(l, dt.sp, wsp, opts.AnalyticCalibration)
+			spaces := make([]*Space, 0, len(tasksOf[i]))
+			for _, ti := range tasksOf[i] {
+				spaces = append(spaces, tasks[ti].sp)
+			}
+			av, ok := analyticLayerVerdict(l, spaces, opts.AnalyticCalibration)
 			if !ok {
 				return nil, fmt.Errorf("autotune: layer %q: %w", l.Name, dt.err)
 			}
@@ -396,13 +444,13 @@ func TuneNetworkContext(ctx context.Context, arch memsim.Arch, layers []NetworkL
 		}
 		v := LayerVerdict{Layer: l, Kind: Direct, Config: dt.cfg, M: dt.m,
 			Shared: dt.shared || dt.owner != i, Partial: dt.partial}
-		if wi := winoOf[i]; wi >= 0 {
-			// A failed Winograd search (e.g. no valid configuration for
-			// tiny spatial dims) leaves the direct verdict standing.
-			if wt := tasks[wi]; wt.err == nil && wt.m.Seconds < v.M.Seconds {
-				v.Kind, v.Config, v.M = Winograd, wt.cfg, wt.m
-				v.Shared = wt.shared || wt.owner != i
-				v.Partial = wt.partial
+		for _, ti := range tasksOf[i][1:] {
+			// A failed alternative-kind search (e.g. no valid configuration
+			// for tiny spatial dims) leaves the incumbent verdict standing.
+			if t := tasks[ti]; t.err == nil && t.m.Seconds < v.M.Seconds {
+				v.Kind, v.Config, v.M = t.kind, t.cfg, t.m
+				v.Shared = t.shared || t.owner != i
+				v.Partial = t.partial
 			}
 		}
 		verdicts[i] = v

@@ -28,14 +28,13 @@ func randomSmallShape(rng *rand.Rand) shapes.ConvShape {
 	return s
 }
 
-// boundTestSpaces builds every applicable (kind, space) for a shape.
+// boundTestSpaces builds every applicable (kind, space) for a shape — the
+// same candidate filter the network tuner applies, so FFT and implicit-GEMM
+// spaces are exercised exactly where they would actually be searched.
 func boundTestSpaces(t *testing.T, s shapes.ConvShape, a memsim.Arch) []*Space {
 	t.Helper()
 	var sps []*Space
-	for _, kind := range []Kind{Direct, Winograd} {
-		if kind == Winograd && (!s.WinogradOK() || s.Hker != 3) {
-			continue
-		}
+	for _, kind := range CandidateKinds(s, true, []Kind{FFT, ImplicitGEMM}) {
 		sp, err := NewSpace(s, a, kind, 2, false)
 		if err != nil {
 			continue

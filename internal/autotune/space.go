@@ -35,13 +35,38 @@ const (
 	Direct Kind = iota
 	// Winograd tunes the Section 5.3 fused Winograd dataflow.
 	Winograd
+	// FFT tunes the frequency-domain pipeline's multiply-accumulate phase
+	// (the transforms are config-independent and costed exactly).
+	FFT
+	// ImplicitGEMM tunes the library-style fused-gather dataflow: more
+	// off-chip traffic than Direct but a smaller shared footprint.
+	ImplicitGEMM
 )
 
 func (k Kind) String() string {
-	if k == Winograd {
+	switch k {
+	case Winograd:
 		return "winograd"
+	case FFT:
+		return "fft"
+	case ImplicitGEMM:
+		return "igemm"
 	}
 	return "direct"
+}
+
+// Kinds lists every tunable kind, in Kind order.
+var Kinds = []Kind{Direct, Winograd, FFT, ImplicitGEMM}
+
+// ParseKind is the inverse of Kind.String. Unknown strings are rejected —
+// the cache loader and the wire format both rely on that.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range Kinds {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return Direct, fmt.Errorf("autotune: unknown kind %q", s)
 }
 
 // Space is the configuration space of Table 1 for one layer on one
@@ -70,12 +95,18 @@ type Space struct {
 	layouts []tensor.Layout
 
 	// bmemo caches the I/O lower bound per (Sb, e) for the pruning oracle
-	// (bound.go); flopsFloor is the direct dataflow's config-independent
+	// (bound.go); flopsFloor is the dataflow's config-independent
 	// arithmetic. sizeOnce guards the cached admissible-config count.
 	bmemo      boundMemo
 	flopsFloor float64
-	sizeOnce   sync.Once
-	size       int64
+	// fftFixedSec is the exact cost of the FFT pipeline's config-independent
+	// transform phases (FFT spaces only): every bound and floor adds it as a
+	// constant. fftP3Flops is the (also config-independent) arithmetic of the
+	// tunable phase.
+	fftFixedSec float64
+	fftP3Flops  float64
+	sizeOnce    sync.Once
+	size        int64
 
 	// anOnce guards the memoized analytic scan (analytic.go): the
 	// analyticTopCap best measurable configs by bound floor, the count
@@ -103,7 +134,8 @@ func NewSpace(s shapes.ConvShape, arch memsim.Arch, kind Kind, e int, pruned boo
 	sp := &Space{Shape: s, Arch: arch, Kind: kind, E: e, Pruned: pruned, layouts: tensor.Layouts}
 	sp.xsByE = make(map[int][]int)
 	sp.ysByE = make(map[int][]int)
-	if kind == Winograd {
+	switch kind {
+	case Winograd:
 		// The Winograd output tile edge e is itself a tunable (the paper:
 		// "in practice e usually is chosen as 2, 3 or 4"). Tiles are whole
 		// sub-tile grids: e times a factor of the rounded-up grid dimension,
@@ -114,16 +146,30 @@ func NewSpace(s shapes.ConvShape, arch memsim.Arch, kind Kind, e int, pruned boo
 			sp.xsByE[ee] = scaleAll(factors((s.Wout()+ee-1)/ee), ee)
 			sp.ysByE[ee] = scaleAll(factors((s.Hout()+ee-1)/ee), ee)
 		}
-	} else {
+	case FFT:
+		// The FFT phase-3 tile spans the padded power-of-two frequency grid,
+		// not the output image; its axes are the grid's (power-of-two)
+		// divisors. Spectra have no image layout, so the layout axis
+		// collapses.
+		lh, lw := conv.FFTGrid(s)
+		sp.es = []int{0}
+		sp.xsByE[0] = factors(lw)
+		sp.ysByE[0] = factors(lh)
+		sp.layouts = []tensor.Layout{tensor.NCHW}
+		sp.fftFixedSec, _ = conv.FFTFixedCost(arch, s)
+		sp.fftP3Flops = 8 * float64(s.Batch) * float64(s.Cout) * float64(s.Cin/s.G()) * float64(lh*lw)
+	default:
 		sp.es = []int{0}
 		sp.xsByE[0] = factors(s.Wout())
 		sp.ysByE[0] = factors(s.Hout())
 	}
-	sp.zs = factors(s.Cout)
+	// The z tile spans one group's output channels (all of Cout when G=1):
+	// grouped blocks never straddle a group boundary.
+	sp.zs = factors(s.Cout / s.G())
 	for sb := arch.MaxSharedPerBlock(); sb >= 256; sb /= 2 {
 		sp.sbs = append(sp.sbs, sb)
 	}
-	sp.flopsFloor = float64(s.Batch) * float64(s.Cin) * 2 * float64(s.Hker*s.Wker) * float64(s.OutputVolume())
+	sp.flopsFloor = float64(s.FLOPs())
 	return sp, nil
 }
 
@@ -140,6 +186,12 @@ func (sp *Space) admissible(c conv.Config) bool {
 	}
 	if !sp.Pruned {
 		return true
+	}
+	if sp.Kind == FFT {
+		// The frequency-domain tile has no sliding-window reuse, so the
+		// optimality condition does not apply; the searching domain is just
+		// the shared-memory fit.
+		return conv.FFTSharedNeed(c) <= c.SharedPerBlock
 	}
 	r := sp.Shape.R()
 	if sp.Kind == Winograd {
@@ -158,6 +210,8 @@ func (sp *Space) admissible(c conv.Config) bool {
 		return conv.DirectSharedNeed(sp.Shape, c) <= c.SharedPerBlock
 	case Winograd:
 		return conv.WinogradSharedNeed(sp.Shape, c) <= c.SharedPerBlock
+	case ImplicitGEMM:
+		return conv.IGEMMSharedNeed(sp.Shape, c) <= c.SharedPerBlock
 	}
 	return true
 }
@@ -316,9 +370,14 @@ func (sp *Space) SeedConfigs() []conv.Config {
 	var seeds []conv.Config
 	for _, e := range sp.es {
 		var def conv.Config
-		if sp.Kind == Winograd {
+		switch sp.Kind {
+		case Winograd:
 			def = conv.DefaultWinogradConfig(sp.Arch, sp.Shape, e)
-		} else {
+		case FFT:
+			def = conv.DefaultFFTConfig(sp.Arch, sp.Shape)
+		case ImplicitGEMM:
+			def = conv.DefaultIGEMMConfig(sp.Arch, sp.Shape)
+		default:
 			def = conv.DefaultDirectConfig(sp.Arch, sp.Shape)
 		}
 		def.WinogradE = e

@@ -14,8 +14,10 @@ import (
 // configuration means before porting it to a real backend.
 
 // EmitSchedule renders the kernel schedule of a configuration for a layer
-// as indented pseudo-code. kind selects the Section 5.2 direct template or
-// the Section 5.3 fused Winograd template.
+// as indented pseudo-code. kind selects the Section 5.2 direct template,
+// the Section 5.3 fused Winograd template, or the FFT / implicit-GEMM
+// variants. Grouped layers slide over the Cin/G channels of one group; the
+// grid line shows the group count through the shape's String.
 func EmitSchedule(kind Kind, s shapes.ConvShape, c conv.Config) string {
 	var b strings.Builder
 	w := func(depth int, format string, args ...interface{}) {
@@ -26,6 +28,12 @@ func EmitSchedule(kind Kind, s shapes.ConvShape, c conv.Config) string {
 	bx := (s.Wout() + c.TileX - 1) / c.TileX
 	by := (s.Hout() + c.TileY - 1) / c.TileY
 	bz := (s.Cout + c.TileZ - 1) / c.TileZ
+	cin := s.Cin / s.G()
+	if kind == FFT {
+		lh, lw := conv.FFTGrid(s)
+		bx = lw / c.TileX
+		by = lh / c.TileY
+	}
 
 	w(0, "// %s template for %v", kind, s)
 	w(0, "// grid: %d x %d x %d x %d blocks, %d threads/block (%dx%dx%d), Sb=%d floats, layout %v",
@@ -39,7 +47,7 @@ func EmitSchedule(kind Kind, s shapes.ConvShape, c conv.Config) string {
 		w(0, "__shared__ float in[%d]    // %dx%d halo'd input tile, one channel", xp*yp, xp, yp)
 		w(0, "__shared__ float wgt[%d]   // %dx%d weights for %d kernels", s.Hker*s.Wker*c.TileZ, s.Hker, s.Wker, c.TileZ)
 		w(0, "zero(out)")
-		w(0, "for c in 0..%d {                 // channel-sliding, alpha = 1", s.Cin)
+		w(0, "for c in 0..%d {                 // channel-sliding, alpha = 1", cin)
 		w(1, "load in  <- image[c] tile        // %d floats, once per channel", xp*yp)
 		w(1, "load wgt <- kernels[z0:z0+%d][c] // %d floats", c.TileZ, s.Hker*s.Wker*c.TileZ)
 		w(1, "parallel (tx,ty,tz) in %dx%dx%d threads:", c.ThreadsX, c.ThreadsY, c.ThreadsZ)
@@ -68,6 +76,36 @@ func EmitSchedule(kind Kind, s shapes.ConvShape, c conv.Config) string {
 		w(0, "}")
 		w(0, "Y[t,k] = A^T . Pi[t,k] . A   // %dx%d outputs per sub-tile", e, e)
 		w(0, "store Y -> output sub-block")
+	case FFT:
+		f := c.TileX * c.TileY
+		w(0, "// phases 1 (input FFT), 2 (kernel FFT) and 4 (inverse FFT) are")
+		w(0, "// fixed library launches; this schedule is the tunable phase 3.")
+		w(0, "__shared__ float acc[%d]   // %dx%dx%d complex frequency tile, double-buffered",
+			4*f*c.TileZ, c.TileX, c.TileY, c.TileZ)
+		w(0, "__shared__ float in[%d]    // one channel's complex frequency tile, double-buffered", 4*f)
+		w(0, "zero(acc)")
+		w(0, "for c in 0..%d {                 // channels of my group", cin)
+		w(1, "load in  <- Image_hat[c] tile    // %d complex values", f)
+		w(1, "load wgt <- Kernel_hat[z0:z0+%d][c] tile", c.TileZ)
+		w(1, "parallel (tx,ty,tz) in %dx%dx%d threads:", c.ThreadsX, c.ThreadsY, c.ThreadsZ)
+		w(2, "acc[x,y,z] += in[x,y] * wgt[x,y,z]   // complex multiply-add")
+		w(0, "}")
+		w(0, "store acc -> Out_hat sub-block    // phase 4 inverse-transforms it")
+	case ImplicitGEMM:
+		w(0, "__shared__ float out[%d]   // %dx%dx%d output sub-block, resident throughout",
+			c.TileX*c.TileY*c.TileZ, c.TileX, c.TileY, c.TileZ)
+		w(0, "__shared__ float in[%d]    // gathered im2col slice, double-buffered (no halo)", 2*c.TileX*c.TileY)
+		w(0, "__shared__ float wgt[%d]   // %dx%d taps for %d kernels", s.Hker*s.Wker*c.TileZ, s.Hker, s.Wker, c.TileZ)
+		w(0, "zero(out)")
+		w(0, "for c in 0..%d {                 // channels of my group", cin)
+		w(1, "load wgt <- kernels[z0:z0+%d][c] // %d floats", c.TileZ, s.Hker*s.Wker*c.TileZ)
+		w(1, "for (kh,kw) in %dx%d taps {", s.Hker, s.Wker)
+		w(2, "gather in <- image[c] at (%d*y+kh, %d*x+kw)  // strided im2col gather", s.Strid, s.Strid)
+		w(2, "parallel (tx,ty,tz) in %dx%dx%d threads:", c.ThreadsX, c.ThreadsY, c.ThreadsZ)
+		w(3, "out[x,y,z] += in[x,y] * wgt[z][kh,kw]  // rank-1 GEMM update")
+		w(1, "}")
+		w(0, "}")
+		w(0, "store out -> output sub-block     // written exactly once")
 	}
 	return b.String()
 }

@@ -38,6 +38,13 @@ func WinogradMeasurer(arch memsim.Arch, s shapes.ConvShape) Measurer {
 	return NewMemoMeasure(arch, s, Winograd).Measure
 }
 
+// KindMeasurer measures configs with the dataflow of any algorithm kind,
+// memoized like DirectMeasurer. It is the generic constructor behind the
+// per-kind helpers and the network tuner's per-layer kernel choice.
+func KindMeasurer(arch memsim.Arch, s shapes.ConvShape, kind Kind) Measurer {
+	return NewMemoMeasure(arch, s, kind).Measure
+}
+
 // MeasuredConfig is one measurement record of a tuning run: the
 // configuration, its outcome and whether it measured successfully. Traces
 // carry the full record stream (Trace.History); it is the raw material of

@@ -1,0 +1,55 @@
+package bounds
+
+import (
+	"math"
+
+	"repro/internal/shapes"
+)
+
+// This file bounds the data-dependent phase of the FFT convolution: the
+// frequency-domain multiply-accumulate. After the forward transforms, each
+// of the G·L frequency bins (L = padded grid size) carries an independent
+// complex matrix multiplication of shape N × (Cin/G) × (Cout/G) — the input
+// spectra against the kernel spectra. The sub-DAGs are disjoint, so their
+// Hong–Kung bounds add, and conservatively granting each sub-DAG the whole
+// fast memory keeps the sum a valid lower bound for any schedule. The
+// transform phases (1, 2, 4) are config-independent and are costed exactly
+// by the evaluator, so they need no bound.
+
+// FFTGridSize returns the padded power-of-two frequency grid size L = lh·lw
+// used by the FFT convolution for a shape.
+func FFTGridSize(shape shapes.ConvShape) int {
+	return nextPow2(shape.Hin+2*shape.Pad) * nextPow2(shape.Win+2*shape.Pad)
+}
+
+// FFTPhase3LowerBound is the composite lower bound on the phase-3 off-chip
+// traffic in floats for a fast memory of s floats: the larger of
+//
+//   - the summed per-bin matmul bounds, G·L·MatMulLowerBound(N, Cin/G,
+//     Cout/G, s), scaled by 2 because every matrix element is complex
+//     (two floats per element moved), and
+//   - the compulsory traffic — every input spectrum, kernel spectrum and
+//     output spectrum crosses the chip boundary at least once.
+func FFTPhase3LowerBound(shape shapes.ConvShape, s int) float64 {
+	g := shape.G()
+	l := float64(FFTGridSize(shape))
+	n := float64(shape.Batch)
+	cinPerG := shape.Cin / g
+	coutPerG := shape.Cout / g
+
+	matmul := 2 * float64(g) * l * MatMulLowerBound(shape.Batch, cinPerG, coutPerG, s)
+	compulsory := 2 * l * (n*float64(shape.Cin) + // input spectra read
+		float64(shape.Cout)*float64(cinPerG) + // kernel spectra read
+		n*float64(shape.Cout)) // output spectra written
+	return math.Max(matmul, compulsory)
+}
+
+// nextPow2 mirrors fft.NextPow2 without importing the fft package (bounds
+// stays dependency-free below shapes).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}

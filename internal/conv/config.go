@@ -154,6 +154,16 @@ func (c Config) common(s shapes.ConvShape, arch memsim.Arch) error {
 		return fmt.Errorf("conv: Sb=%d exceeds Ssm/2=%d (need two resident blocks per SM)",
 			c.SharedPerBlock, arch.MaxSharedPerBlock())
 	}
+	// Grouped convolutions require blocks that never straddle a group
+	// boundary in the z (output-channel) axis: TileZ must tile Cout/G
+	// exactly, so the per-axis count aggregates stay exact per group.
+	if g := s.G(); g > 1 {
+		cpg := s.Cout / g
+		if c.TileZ > cpg || cpg%c.TileZ != 0 {
+			return fmt.Errorf("conv: tile z=%d does not tile the %d channels of one of %d groups",
+				c.TileZ, cpg, g)
+		}
+	}
 	return nil
 }
 

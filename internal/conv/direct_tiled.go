@@ -171,7 +171,10 @@ func dryDirectCounts(s shapes.ConvShape, cfg Config, bx, by, bz int) memsim.Coun
 		yy := min(cfg.TileY, s.Hout()-iy*cfg.TileY)
 		sumYP += int64(s.Strid*yy + s.Hker - s.Strid)
 	}
-	cin := int64(s.Cin)
+	// Each output channel reads only its group's Cin/G input channels, so
+	// every per-channel term scales by the group-local depth (G=1 is the
+	// dense case).
+	cin := int64(s.Cin / s.G())
 	k2 := int64(s.Hker * s.Wker)
 	batch := int64(s.Batch)
 	bxy := int64(bx) * int64(by)
@@ -308,7 +311,11 @@ func DefaultDirectConfig(arch memsim.Arch, s shapes.ConvShape) Config {
 		volTarget = byPar
 	}
 	best := Config{}
-	for z := min(s.Cout, 512); z >= 1; z-- {
+	cpg := s.Cout / s.G() // group-local z extent a tile must divide
+	for z := min(cpg, 512); z >= 1; z-- {
+		if s.G() > 1 && cpg%z != 0 {
+			continue
+		}
 		xy := int(s.R() * float64(z))
 		side := 1
 		for side*side < xy {

@@ -1,0 +1,148 @@
+package conv
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+	"repro/internal/shapes"
+	"repro/internal/tensor"
+)
+
+// This file adds the tunable form of the implicit-GEMM convolution. Like
+// DirectTiled, each block owns an x×y×z output sub-block; unlike it, the
+// inputs are not staged as a halo'd tile but gathered tap-by-tap, the way
+// library implicit-GEMM kernels stream their B panels: overlapping windows
+// re-read from off-chip memory, and the shared working set is only the
+// accumulators, one double-buffered x·y tap slice, and the z kernel slices.
+// The trade is explicit — more global traffic than the paper's dataflow in
+// exchange for a smaller shared footprint, so bigger tiles (or more resident
+// blocks) fit. On shapes where shared capacity binds, that wins.
+
+// IGEMMSharedNeed returns the shared-memory floats the tiled implicit-GEMM
+// dataflow requires: the resident output tile, a double-buffered x·y tap
+// slice of the gathered patch, and z kernel slices.
+func IGEMMSharedNeed(s shapes.ConvShape, c Config) int {
+	return c.TileX*c.TileY*c.TileZ + 2*c.TileX*c.TileY + s.Hker*s.Wker*c.TileZ
+}
+
+// ValidateIGEMM checks a config against a shape and architecture for the
+// tiled implicit-GEMM dataflow.
+func (c Config) ValidateIGEMM(s shapes.ConvShape, arch memsim.Arch) error {
+	if err := c.common(s, arch); err != nil {
+		return err
+	}
+	if need := IGEMMSharedNeed(s, c); need > c.SharedPerBlock {
+		return fmt.Errorf("conv: igemm tiles need %d floats of shared memory, Sb=%d", need, c.SharedPerBlock)
+	}
+	return nil
+}
+
+// IGEMMTiledCounts returns the exact traffic of the tiled implicit-GEMM
+// dataflow. The kernel (A-panel) term matches DirectTiled's — z slices per
+// spatial block per group-local channel. The input term is a gather: every
+// output element re-reads its valid taps, so the per-axis valid-tap sums of
+// the baselines replace the halo'd tile loads, and each z-block over the
+// same spatial tile re-gathers.
+func IGEMMTiledCounts(s shapes.ConvShape, cfg Config) memsim.Counts {
+	bx, by, bz := blockGrid(s, cfg)
+	var sumXX, sumYY, sumZZ int64
+	for ix := 0; ix < bx; ix++ {
+		sumXX += int64(min(cfg.TileX, s.Wout()-ix*cfg.TileX))
+	}
+	for iy := 0; iy < by; iy++ {
+		sumYY += int64(min(cfg.TileY, s.Hout()-iy*cfg.TileY))
+	}
+	for iz := 0; iz < bz; iz++ {
+		sumZZ += int64(min(cfg.TileZ, s.Cout-iz*cfg.TileZ))
+	}
+	// Valid gathered taps factor across the axes exactly as in the
+	// baselines; tiling does not change the per-output tap count, only how
+	// many z-blocks repeat the gather.
+	gather := sumValidTaps(s.Hout(), s.Hker, s.Strid, s.Pad, s.Hin) *
+		sumValidTaps(s.Wout(), s.Wker, s.Strid, s.Pad, s.Win)
+
+	cin := int64(s.Cin / s.G())
+	k2 := int64(s.Hker * s.Wker)
+	batch := int64(s.Batch)
+	bxy := int64(bx) * int64(by)
+	vol := sumXX * sumYY * sumZZ
+
+	var c memsim.Counts
+	c.GlobalLoads = batch * cin * (gather*int64(bz) + k2*sumZZ*bxy)
+	c.GlobalStores = batch * vol
+	c.Flops = batch * cin * 2 * k2 * vol
+	c.SharedLoads = batch * (cin*2*k2*vol + vol)
+	c.SharedStores = batch * (cin*(gather*int64(bz)+k2*sumZZ*bxy) + cin*vol)
+	return c
+}
+
+// IGEMMTiledLaunch returns the launch geometry of the tiled implicit-GEMM
+// dataflow for a (shape, config) pair.
+func IGEMMTiledLaunch(s shapes.ConvShape, cfg Config) memsim.Launch {
+	bx, by, bz := blockGrid(s, cfg)
+	return memsim.Launch{
+		Blocks:          bx * by * bz * s.Batch,
+		ThreadsPerBlock: cfg.Threads(),
+		SharedPerBlock:  cfg.SharedPerBlock,
+		// The tap gather reads short window segments regardless of layout:
+		// the same strided-access penalty as the fused library kernel.
+		BandwidthEff: 0.7,
+	}
+}
+
+// DryIGEMMTiled evaluates the tiled implicit-GEMM convolution without
+// touching data. This is the evaluator behind every implicit-GEMM-kind
+// tuning measurement.
+func DryIGEMMTiled(arch memsim.Arch, s shapes.ConvShape, cfg Config) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.ValidateIGEMM(s, arch); err != nil {
+		return Result{}, err
+	}
+	return dryResult(arch, IGEMMTiledCounts(s, cfg), IGEMMTiledLaunch(s, cfg)), nil
+}
+
+// DefaultIGEMMConfig derives an untuned tiled implicit-GEMM configuration by
+// the same volume targeting as DefaultDirectConfig, against the implicit-GEMM
+// shared-need model.
+func DefaultIGEMMConfig(arch memsim.Arch, s shapes.ConvShape) Config {
+	sb := arch.MaxSharedPerBlock()
+	cfg := Config{SharedPerBlock: sb, Layout: tensor.NCHW}
+	totalOut := s.OutputVolume() * s.Batch
+	volTarget := sb * 3 / 4
+	if byPar := totalOut / (2 * arch.NumSMs); byPar >= 1 && byPar < volTarget {
+		volTarget = byPar
+	}
+	best := Config{}
+	cpg := s.Cout / s.G()
+	for z := min(cpg, 512); z >= 1; z-- {
+		if s.G() > 1 && cpg%z != 0 {
+			continue
+		}
+		xy := int(s.R() * float64(z))
+		side := 1
+		for side*side < xy {
+			side++
+		}
+		c := cfg
+		c.TileX = min(side, s.Wout())
+		c.TileY = min(side, s.Hout())
+		c.TileZ = z
+		if c.TileX*c.TileY*c.TileZ <= volTarget && IGEMMSharedNeed(s, c) <= sb {
+			best = c
+			break
+		}
+	}
+	if best.TileX == 0 {
+		best = cfg
+		best.TileX, best.TileY, best.TileZ = 1, 1, 1
+	}
+	best.ThreadsX = min(best.TileX, 16)
+	best.ThreadsY = min(best.TileY, 16)
+	best.ThreadsZ = min(best.TileZ, 1024/(best.ThreadsX*best.ThreadsY))
+	if best.ThreadsZ < 1 {
+		best.ThreadsZ = 1
+	}
+	return best
+}

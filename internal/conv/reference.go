@@ -48,6 +48,13 @@ func checkOperands(s shapes.ConvShape, input, kernels *tensor.Tensor) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	if s.G() > 1 {
+		// The wet executors compute dense convolutions (every kernel spans
+		// all Cin channels); grouped shapes are served by the dry evaluators
+		// the tuner measures with. Refuse rather than silently compute the
+		// dense result.
+		return fmt.Errorf("conv: wet executors do not implement grouped convolution (%v)", s)
+	}
 	if input.N != s.Batch || input.C != s.Cin || input.H != s.Hin || input.W != s.Win {
 		return fmt.Errorf("conv: input tensor (%d,%d,%d,%d) does not match %v",
 			input.N, input.C, input.H, input.W, s)

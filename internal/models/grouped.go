@@ -37,9 +37,23 @@ func (l GroupedLayer) Validate() error {
 	return l.EffectiveShape().Validate()
 }
 
+// GroupedShape returns the layer's shape with its group count threaded
+// through: full channel extents, Groups set. This is what the tuner
+// consumes — group-aware spaces tile one group's channels and the counts
+// divide by G, so a depthwise layer costs 1/G of its dense twin instead of
+// being silently tuned as the dense conv.
+func (l GroupedLayer) GroupedShape() shapes.ConvShape {
+	s := l.Shape
+	s.Groups = l.Groups
+	return s
+}
+
 // EffectiveShape returns the batch-folded equivalent: G groups of a
 // (Cin/G -> Cout/G) convolution become G batch entries of that small
-// convolution in a single launch.
+// convolution in a single launch. It preserves I/O volume and flop count —
+// useful as a library-baseline reference — but it erases the layer's real
+// channel geometry (Winograd/FFT eligibility, per-group tiling), so the
+// tuner uses GroupedShape instead.
 func (l GroupedLayer) EffectiveShape() shapes.ConvShape {
 	s := l.Shape
 	s.Batch = s.Batch * l.Groups

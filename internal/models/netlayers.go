@@ -19,12 +19,15 @@ func (m Model) NetworkLayers() []autotune.NetworkLayer {
 }
 
 // NetworkLayers converts a grouped model's inventory into the network
-// tuner's request type, folding each layer's groups into the batch
-// dimension (EffectiveShape) the way the tuner expects.
+// tuner's request type. Each layer keeps its real channel geometry with
+// Groups threaded through (GroupedShape) — the old batch-folding
+// (EffectiveShape) silently retuned depthwise layers as dense convolutions
+// of the folded shape, hiding their group structure from the space builder,
+// the bounds and the per-layer kernel choice.
 func (m GroupedModel) NetworkLayers() []autotune.NetworkLayer {
 	out := make([]autotune.NetworkLayer, len(m.Layers))
 	for i, l := range m.Layers {
-		out[i] = autotune.NetworkLayer{Name: l.Name, Shape: l.EffectiveShape(), Repeat: l.Repeat}
+		out[i] = autotune.NetworkLayer{Name: l.Name, Shape: l.GroupedShape(), Repeat: l.Repeat}
 	}
 	return out
 }

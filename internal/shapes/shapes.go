@@ -23,6 +23,20 @@ type ConvShape struct {
 	Wker  int // kernel width
 	Strid int // stride μ (same in both spatial dimensions)
 	Pad   int // symmetric zero padding (same in both spatial dimensions)
+	// Groups splits the channels into G independent convolutions of
+	// Cin/G -> Cout/G channels each (grouped convolution; Groups == Cin is
+	// depthwise). 0 means 1 — the zero value stays an ordinary dense
+	// convolution, so every pre-existing shape literal is unchanged.
+	Groups int
+}
+
+// G is the group count with the zero-value default applied: 0 (and 1) mean
+// an ungrouped convolution.
+func (s ConvShape) G() int {
+	if s.Groups > 1 {
+		return s.Groups
+	}
+	return 1
 }
 
 // Validate reports whether the shape describes a computable convolution.
@@ -42,6 +56,13 @@ func (s ConvShape) Validate() error {
 		return fmt.Errorf("shapes: padding %d < 0", s.Pad)
 	case s.Hin+2*s.Pad < s.Hker || s.Win+2*s.Pad < s.Wker:
 		return errors.New("shapes: kernel larger than padded input")
+	case s.Groups < 0:
+		return fmt.Errorf("shapes: groups %d < 0", s.Groups)
+	}
+	if g := s.G(); g > 1 {
+		if s.Cin%g != 0 || s.Cout%g != 0 {
+			return fmt.Errorf("shapes: channels (%d,%d) not divisible by groups %d", s.Cin, s.Cout, g)
+		}
 	}
 	return nil
 }
@@ -58,17 +79,20 @@ func (s ConvShape) OutputVolume() int { return s.Wout() * s.Hout() * s.Cout }
 // InputVolume is the number of input elements per image, Win·Hin·Cin.
 func (s ConvShape) InputVolume() int { return s.Win * s.Hin * s.Cin }
 
-// KernelVolume is the total number of weights, Wker·Hker·Cin·Cout.
-func (s ConvShape) KernelVolume() int { return s.Wker * s.Hker * s.Cin * s.Cout }
+// KernelVolume is the total number of weights, Wker·Hker·(Cin/G)·Cout: each
+// of the Cout kernels only spans its group's input channels.
+func (s ConvShape) KernelVolume() int { return s.Wker * s.Hker * (s.Cin / s.G()) * s.Cout }
 
-// KernelSize is the per-kernel tensor size Wker·Hker·Cin (the sliding window
-// volume of the paper).
-func (s ConvShape) KernelSize() int { return s.Wker * s.Hker * s.Cin }
+// KernelSize is the per-kernel tensor size Wker·Hker·(Cin/G) (the sliding
+// window volume of the paper; for a grouped convolution each output channel
+// reads only its group's slice of the input).
+func (s ConvShape) KernelSize() int { return s.Wker * s.Hker * (s.Cin / s.G()) }
 
 // FLOPs is the number of floating-point operations of the direct algorithm:
-// one multiply and one add per product term, for all images.
+// one multiply and one add per product term, for all images. Grouped layers
+// do 1/G of the dense work because each output channel reads Cin/G inputs.
 func (s ConvShape) FLOPs() int64 {
-	per := int64(2) * int64(s.Wker*s.Hker*s.Cin) * int64(s.OutputVolume())
+	per := int64(2) * int64(s.Wker*s.Hker*(s.Cin/s.G())) * int64(s.OutputVolume())
 	return per * int64(s.Batch)
 }
 
@@ -79,9 +103,10 @@ func (s ConvShape) R() float64 {
 }
 
 // WinogradOK reports whether the Winograd algorithm of the paper applies:
-// square kernels and unit stride.
+// square kernels, unit stride, and no channel grouping (the paper's Winograd
+// dataflow sums over all input channels).
 func (s ConvShape) WinogradOK() bool {
-	return s.Hker == s.Wker && s.Strid == 1
+	return s.Hker == s.Wker && s.Strid == 1 && s.G() == 1
 }
 
 // WithBatch returns a copy of the shape with the batch size replaced.
@@ -91,6 +116,10 @@ func (s ConvShape) WithBatch(n int) ConvShape {
 }
 
 func (s ConvShape) String() string {
-	return fmt.Sprintf("conv[N=%d Cin=%d %dx%d k=%dx%d Cout=%d mu=%d pad=%d -> %dx%d]",
-		s.Batch, s.Cin, s.Hin, s.Win, s.Hker, s.Wker, s.Cout, s.Strid, s.Pad, s.Hout(), s.Wout())
+	group := ""
+	if s.G() > 1 {
+		group = fmt.Sprintf(" g=%d", s.G())
+	}
+	return fmt.Sprintf("conv[N=%d Cin=%d %dx%d k=%dx%d Cout=%d mu=%d pad=%d%s -> %dx%d]",
+		s.Batch, s.Cin, s.Hin, s.Win, s.Hker, s.Wker, s.Cout, s.Strid, s.Pad, group, s.Hout(), s.Wout())
 }

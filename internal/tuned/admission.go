@@ -71,8 +71,10 @@ func (a *admission) load() int64 {
 // per distinct (kind, shape) key not already answered by the cache, one
 // full per-layer budget. Cached keys cost nothing — a replayed network
 // passes admission even under full load, which is exactly right: it
-// triggers no measurements.
-func admissionCost(cache *autotune.Cache, arch memsim.Arch, layers []autotune.NetworkLayer, budget int, winograd bool) int64 {
+// triggers no measurements. The candidate set per layer is exactly what
+// the sweep would search (autotune.CandidateKinds), so extra kinds are
+// accounted before they can run.
+func admissionCost(cache *autotune.Cache, arch memsim.Arch, layers []autotune.NetworkLayer, budget int, winograd bool, kinds []autotune.Kind) int64 {
 	type key struct {
 		kind autotune.Kind
 		s    string
@@ -90,9 +92,8 @@ func admissionCost(cache *autotune.Cache, arch memsim.Arch, layers []autotune.Ne
 		}
 	}
 	for _, l := range layers {
-		count(autotune.Direct, l)
-		if winograd && l.Shape.WinogradOK() && l.Shape.Hker == 3 {
-			count(autotune.Winograd, l)
+		for _, kind := range autotune.CandidateKinds(l.Shape, winograd, kinds) {
+			count(kind, l)
 		}
 	}
 	return cost

@@ -40,6 +40,7 @@ type groupKey struct {
 	budget   int
 	seed     int64
 	winograd bool
+	kinds    string // canonicalized candidate-kind list (kindsKey)
 }
 
 // batcher collects jobs for one admission window, then hands the whole

@@ -43,6 +43,7 @@ type refineJob struct {
 	opts     autotune.NetworkOptions
 	budget   int
 	winograd bool
+	kinds    []autotune.Kind
 }
 
 // analyticFor returns the per-architecture analytic tier, building it on
@@ -68,15 +69,15 @@ func (s *Server) analyticFor(arch memsim.Arch) *autotune.AnalyticDSE {
 // — 200, every verdict Tier "analytic" — and enqueues it for background
 // refinement. The analytic tier consults no cache and takes no budget, so
 // this path stays fast no matter how overloaded the measured path is.
-func (s *Server) serveAnalytic(w http.ResponseWriter, arch memsim.Arch, layers []autotune.NetworkLayer, opts autotune.Options, winograd bool) {
-	verdicts, err := s.analyticFor(arch).Network(layers, winograd)
+func (s *Server) serveAnalytic(w http.ResponseWriter, arch memsim.Arch, layers []autotune.NetworkLayer, opts autotune.Options, winograd bool, kinds []autotune.Kind) {
+	verdicts, err := s.analyticFor(arch).NetworkKinds(layers, analyticKinds(winograd, kinds))
 	if err != nil {
 		errJSON(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	s.requests.Add(1)
 	s.countTiers(verdicts)
-	s.enqueueRefine(arch, layers, opts, winograd)
+	s.enqueueRefine(arch, layers, opts, winograd, kinds)
 	resp := repro.TuneResponse{Arch: arch.Name,
 		Verdicts:       repro.DescribeVerdicts(verdicts),
 		NetworkSeconds: autotune.NetworkSeconds(verdicts),
@@ -115,6 +116,30 @@ func (s *Server) countTiers(verdicts []autotune.LayerVerdict) {
 			s.tierMeasured.Add(1)
 		}
 	}
+	// The per-(tier, kind) breakdown backs the labeled /metrics family; the
+	// tier atomics above stay as the lock-free totals /healthz reads.
+	s.verdictMu.Lock()
+	for _, v := range verdicts {
+		s.verdictByTK[v.Tier.String()+"|"+v.Kind.String()]++
+	}
+	s.verdictMu.Unlock()
+}
+
+// analyticKinds folds the legacy winograd flag into the candidate-kind list
+// the analytic tier filters on (candidateKinds treats a requested Winograd
+// and the flag identically).
+func analyticKinds(winograd bool, kinds []autotune.Kind) []autotune.Kind {
+	if !winograd {
+		return kinds
+	}
+	for _, k := range kinds {
+		if k == autotune.Winograd {
+			return kinds
+		}
+	}
+	out := make([]autotune.Kind, 0, len(kinds)+1)
+	out = append(out, kinds...)
+	return append(out, autotune.Winograd)
 }
 
 func refinedKey(archName string, kind autotune.Kind, shape string) string {
@@ -123,7 +148,7 @@ func refinedKey(archName string, kind autotune.Kind, shape string) string {
 
 // refineRequestKey identifies one refinable request — the dedup unit of
 // the queue, so a hammered analytic endpoint enqueues each network once.
-func refineRequestKey(archName string, layers []autotune.NetworkLayer, budget int, seed int64, winograd bool) string {
+func refineRequestKey(archName string, layers []autotune.NetworkLayer, budget int, seed int64, winograd bool, kinds []autotune.Kind) string {
 	var b strings.Builder
 	b.WriteString(archName)
 	b.WriteByte('|')
@@ -132,6 +157,8 @@ func refineRequestKey(archName string, layers []autotune.NetworkLayer, budget in
 	b.WriteString(strconv.FormatInt(seed, 10))
 	b.WriteByte('|')
 	b.WriteString(strconv.FormatBool(winograd))
+	b.WriteByte('|')
+	b.WriteString(kindsKey(kinds))
 	for _, l := range layers {
 		b.WriteByte('|')
 		b.WriteString(l.Shape.String())
@@ -142,11 +169,11 @@ func refineRequestKey(archName string, layers []autotune.NetworkLayer, budget in
 // enqueueRefine queues an analytically-answered network for background
 // measurement. A full queue or an already-pending identical request drops
 // the job — the next analytic answer for it re-enqueues.
-func (s *Server) enqueueRefine(arch memsim.Arch, layers []autotune.NetworkLayer, opts autotune.Options, winograd bool) {
+func (s *Server) enqueueRefine(arch memsim.Arch, layers []autotune.NetworkLayer, opts autotune.Options, winograd bool, kinds []autotune.Kind) {
 	if s.refineCh == nil {
 		return
 	}
-	key := refineRequestKey(arch.Name, layers, opts.Budget, opts.Seed, winograd)
+	key := refineRequestKey(arch.Name, layers, opts.Budget, opts.Seed, winograd, kinds)
 	s.refineMu.Lock()
 	if s.refinePending[key] {
 		s.refineMu.Unlock()
@@ -155,7 +182,8 @@ func (s *Server) enqueueRefine(arch memsim.Arch, layers []autotune.NetworkLayer,
 	s.refinePending[key] = true
 	s.refineMu.Unlock()
 	job := &refineJob{key: key, arch: arch, layers: layers,
-		opts: s.networkOptions(arch, opts, winograd), budget: opts.Budget, winograd: winograd}
+		opts: s.networkOptions(arch, opts, winograd, kinds), budget: opts.Budget,
+		winograd: winograd, kinds: kinds}
 	select {
 	case s.refineCh <- job:
 	default:
@@ -192,7 +220,7 @@ func (s *Server) refineOne(j *refineJob) {
 	var cost int64
 	for {
 		if s.breaker.State() != autotune.BreakerOpen {
-			cost = admissionCost(s.cache, j.arch, j.layers, j.budget, j.winograd)
+			cost = admissionCost(s.cache, j.arch, j.layers, j.budget, j.winograd, j.kinds)
 			if s.adm.acquire(cost) {
 				break
 			}

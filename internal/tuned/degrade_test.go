@@ -120,7 +120,7 @@ func TestServerDegradedDeadBackendServesAnalyticAndRecovers(t *testing.T) {
 	metrics := getMetrics(t, ts.URL)
 	mustContain(t, metrics, "# TYPE tuned_breaker_state gauge")
 	mustContain(t, metrics, `tuned_breaker_transitions_total{state="open"}`)
-	mustContain(t, metrics, `tuned_verdicts_total{tier="analytic"}`)
+	mustContain(t, metrics, `tuned_verdicts_total{tier="analytic",kind="direct"}`)
 
 	// While the backend stays dead, every further request is a complete
 	// analytic 200 — instantly (breaker open) or via the sweep-level
@@ -284,8 +284,10 @@ func TestServerMetricsEndpoint(t *testing.T) {
 		"tuned_requests_total 1",
 		"tuned_measurements_total",
 		"tuned_rejected_total 0",
-		`tuned_verdicts_total{tier="measured"}`,
-		`tuned_verdicts_total{tier="analytic"} 0`,
+		`tuned_verdicts_total{tier="measured",kind="direct"}`,
+		`tuned_verdicts_total{tier="analytic",kind="direct"} 0`,
+		`tuned_verdicts_total{tier="measured",kind="fft"} 0`,
+		`tuned_verdicts_total{tier="measured",kind="igemm"} 0`,
 		"tuned_cache_entries",
 		"tuned_inflight_budget 0",
 		"tuned_snapshot_age_seconds -1",
@@ -313,6 +315,30 @@ func TestServerMetricsEndpoint(t *testing.T) {
 	mustContain(t, m2, "tuned_breaker_state 0")
 	mustContain(t, m2, "tuned_refine_queue_depth 0")
 	mustContain(t, m2, "tuned_refine_completed_total 0")
+}
+
+// The kind dimension of the verdict counters: a request that widens the
+// per-layer candidate set via options.kinds gets each layer's chosen kind
+// recorded under its own label, and the count of the winning kind's series
+// matches the verdicts served.
+func TestServerKindLabeledVerdictMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tune: tinyOpts(8, 1)})
+	desc := repro.DescribeNetwork(testArch.Name, netA()[1:])
+	desc.Options = &repro.RequestOptions{Kinds: []string{"igemm", "fft"}}
+	resp, status := postTune(t, ts.URL, desc)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if len(resp.Verdicts) != 1 {
+		t.Fatalf("%d verdicts, want 1", len(resp.Verdicts))
+	}
+	m := getMetrics(t, ts.URL)
+	chosen := resp.Verdicts[0].Kind
+	mustContain(t, m, `tuned_verdicts_total{tier="measured",kind="`+chosen+`"} 1`)
+	// Every kind series exists even at zero — the grid is pre-declared.
+	for _, kind := range []string{"direct", "winograd", "fft", "igemm"} {
+		mustContain(t, m, `tuned_verdicts_total{tier="analytic",kind="`+kind+`"}`)
+	}
 }
 
 // Engine-level fallback inside an otherwise admitted request: no breaker,

@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/autotune"
 )
 
 // GET /metrics: Prometheus text exposition (format 0.0.4), hand-rolled so
@@ -54,10 +56,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("tuned_quarantined_total", "Configurations quarantined after repeated failures.", s.quarantined.Load())
 	m.counter("tuned_partial_responses_total", "Responses cut short by the request timeout.", s.partials.Load())
 
-	m.family("tuned_verdicts_total", "counter", "Layer verdicts served, by provenance tier.")
-	m.sample("tuned_verdicts_total", `tier="measured"`, float64(s.tierMeasured.Load()))
-	m.sample("tuned_verdicts_total", `tier="analytic"`, float64(s.tierAnalytic.Load()))
-	m.sample("tuned_verdicts_total", `tier="refined"`, float64(s.tierRefined.Load()))
+	// Verdicts are labeled by provenance tier AND the algorithm kind the
+	// per-layer choice settled on, so a dashboard can see e.g. depthwise
+	// layers flipping from direct to igemm. The full tier×kind grid emits
+	// (zeros included) so every series exists from the first scrape.
+	m.family("tuned_verdicts_total", "counter", "Layer verdicts served, by provenance tier and algorithm kind.")
+	s.verdictMu.Lock()
+	for _, tier := range []autotune.Tier{autotune.TierMeasured, autotune.TierAnalytic, autotune.TierRefined} {
+		for _, kind := range autotune.Kinds {
+			m.sample("tuned_verdicts_total",
+				fmt.Sprintf("tier=%q,kind=%q", tier.String(), kind.String()),
+				float64(s.verdictByTK[tier.String()+"|"+kind.String()]))
+		}
+	}
+	s.verdictMu.Unlock()
 
 	if s.breaker != nil {
 		m.gauge("tuned_breaker_state",

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,10 @@ type Config struct {
 	// Winograd is the default for also tuning the fused Winograd dataflow
 	// where it applies (requests may override).
 	Winograd bool
+	// Kinds is the default extra candidate-kind set of the per-layer kernel
+	// choice (requests may override via options.kinds); Direct is always
+	// tuned.
+	Kinds []autotune.Kind
 	// Warm enables cross-request warm-starting through the batcher's
 	// merged transfer pool.
 	Warm bool
@@ -136,6 +141,8 @@ type Server struct {
 	tierMeasured    atomic.Int64 // verdicts served, by provenance
 	tierAnalytic    atomic.Int64
 	tierRefined     atomic.Int64
+	verdictMu       sync.Mutex       // guards verdictByTK
+	verdictByTK     map[string]int64 // verdicts by (tier, kind), for /metrics
 	refineDone      atomic.Int64 // refinement jobs that measured their network
 	refineDropped   atomic.Int64 // jobs dropped on a full queue
 	refineFailed    atomic.Int64 // jobs whose measured sweep errored
@@ -209,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 		s.breaker = autotune.NewBreaker(bcfg)
 	}
 	s.degraded = cfg.AnalyticOverflow || s.breaker != nil || cfg.RequestTimeout > 0
+	s.verdictByTK = make(map[string]int64)
 	s.analytic = make(map[string]*autotune.AnalyticDSE)
 	s.calStamp = make(map[string]int)
 	s.refinedKeys = make(map[string]bool)
@@ -392,24 +400,24 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	layers := desc.NetworkLayers()
-	opts, winograd := s.requestOptions(desc.Options)
+	opts, winograd, kinds := s.requestOptions(desc.Options)
 
 	// Degradation trigger: a tripped breaker means a measured search could
 	// only burn its budget on fast-fails, so answer instantly from the
 	// analytic tier and let the refinement queue (and the next half-open
 	// probes) bring measured service back.
 	if s.breaker.State() == autotune.BreakerOpen {
-		s.serveAnalytic(w, arch, layers, opts, winograd)
+		s.serveAnalytic(w, arch, layers, opts, winograd, kinds)
 		return
 	}
 
-	cost := admissionCost(s.cache, arch, layers, opts.Budget, winograd)
+	cost := admissionCost(s.cache, arch, layers, opts.Budget, winograd, kinds)
 	if !s.adm.acquire(cost) {
 		if s.cfg.AnalyticOverflow {
 			// Degradation trigger: overload. Instead of shedding with 429,
 			// the overflow gets the instant analytic answer now and a
 			// background refinement slot once budget frees up.
-			s.serveAnalytic(w, arch, layers, opts, winograd)
+			s.serveAnalytic(w, arch, layers, opts, winograd, kinds)
 			return
 		}
 		s.rejected.Add(1)
@@ -423,9 +431,10 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 
 	job := &tuneJob{
-		key:  groupKey{arch: arch.Name, budget: opts.Budget, seed: opts.Seed, winograd: winograd},
+		key: groupKey{arch: arch.Name, budget: opts.Budget, seed: opts.Seed,
+			winograd: winograd, kinds: kindsKey(kinds)},
 		arch: arch, layers: layers,
-		opts: s.networkOptions(arch, opts, winograd),
+		opts: s.networkOptions(arch, opts, winograd, kinds),
 		done: make(chan struct{}),
 	}
 	s.batch.submit(job)
@@ -452,7 +461,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		// mid-run, or the backend died outright): the response is a
 		// complete estimate, flagged as such, and worth refining.
 		resp.Tier = autotune.TierAnalytic.String()
-		s.enqueueRefine(arch, layers, opts, winograd)
+		s.enqueueRefine(arch, layers, opts, winograd, kinds)
 	}
 	if resp.Partial {
 		s.partials.Add(1)
@@ -464,9 +473,9 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 // networkOptions assembles the sweep options of one admitted request; with
 // any degradation trigger configured the sweep gets the analytic fallback,
 // so a layer whose search dies still answers.
-func (s *Server) networkOptions(arch memsim.Arch, opts autotune.Options, winograd bool) autotune.NetworkOptions {
+func (s *Server) networkOptions(arch memsim.Arch, opts autotune.Options, winograd bool, kinds []autotune.Kind) autotune.NetworkOptions {
 	no := autotune.NetworkOptions{Tune: opts, Workers: s.cfg.LayerWorkers,
-		Winograd: winograd, Warm: s.cfg.Warm, Resume: s.cfg.Resume,
+		Winograd: winograd, Kinds: kinds, Warm: s.cfg.Warm, Resume: s.cfg.Resume,
 		WrapMeasurer: s.wrapMeasurer()}
 	if s.degraded {
 		no.AnalyticFallback = true
@@ -477,9 +486,10 @@ func (s *Server) networkOptions(arch memsim.Arch, opts autotune.Options, winogra
 
 // requestOptions resolves a request's overrides against the server
 // defaults.
-func (s *Server) requestOptions(o *repro.RequestOptions) (autotune.Options, bool) {
+func (s *Server) requestOptions(o *repro.RequestOptions) (autotune.Options, bool, []autotune.Kind) {
 	opts := s.cfg.Tune
 	winograd := s.cfg.Winograd
+	kinds := s.cfg.Kinds
 	if o != nil {
 		if o.Budget > 0 {
 			opts.Budget = o.Budget
@@ -490,8 +500,41 @@ func (s *Server) requestOptions(o *repro.RequestOptions) (autotune.Options, bool
 		if o.Winograd != nil {
 			winograd = *o.Winograd
 		}
+		if len(o.Kinds) > 0 {
+			// The description validator already vetted these names; a parse
+			// failure here can only mean a caller bypassed it, so fall back
+			// to the server default rather than crash.
+			if parsed, err := parseRequestKinds(o.Kinds); err == nil {
+				kinds = parsed
+			}
+		}
 	}
-	return opts, winograd
+	return opts, winograd, kinds
+}
+
+// parseRequestKinds converts wire kind names to engine kinds.
+func parseRequestKinds(names []string) ([]autotune.Kind, error) {
+	kinds := make([]autotune.Kind, len(names))
+	for i, n := range names {
+		k, err := autotune.ParseKind(n)
+		if err != nil {
+			return nil, err
+		}
+		kinds[i] = k
+	}
+	return kinds, nil
+}
+
+// kindsKey canonicalizes a kind list for grouping and dedup keys.
+func kindsKey(kinds []autotune.Kind) string {
+	var b strings.Builder
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k.String())
+	}
+	return b.String()
 }
 
 // retryAfterSeconds estimates how long a shed client should back off: the

@@ -52,6 +52,21 @@ type Tile = bounds.Tile
 // best-so-far curve.
 type TuneTrace = autotune.Trace
 
+// Kind selects a convolution algorithm template ("direct", "winograd",
+// "fft", "igemm").
+type Kind = autotune.Kind
+
+// Algorithm kinds the tuner can search.
+const (
+	Direct       = autotune.Direct
+	Winograd     = autotune.Winograd
+	FFT          = autotune.FFT
+	ImplicitGEMM = autotune.ImplicitGEMM
+)
+
+// ParseKind parses an algorithm kind name; unknown names are rejected.
+func ParseKind(name string) (Kind, error) { return autotune.ParseKind(name) }
+
 // Architectures returns the built-in simulated GPU catalog (1080Ti, TitanX,
 // V100, GFX906).
 func Architectures() []Arch { return memsim.Catalog }
@@ -64,6 +79,16 @@ func ArchByName(name string) (Arch, error) { return memsim.ByName(name) }
 func NewShape(batch, cin, hw, cout, kernel, stride, pad int) (Shape, error) {
 	s := Shape{Batch: batch, Cin: cin, Hin: hw, Win: hw, Cout: cout,
 		Hker: kernel, Wker: kernel, Strid: stride, Pad: pad}
+	return s, s.Validate()
+}
+
+// NewGroupedShape is NewShape for a grouped convolution: groups independent
+// (cin/groups -> cout/groups) convolutions, covering depthwise layers
+// (groups == cin == cout) and everything between. groups must divide both
+// channel counts.
+func NewGroupedShape(batch, cin, hw, cout, kernel, stride, pad, groups int) (Shape, error) {
+	s := Shape{Batch: batch, Cin: cin, Hin: hw, Win: hw, Cout: cout,
+		Hker: kernel, Wker: kernel, Strid: stride, Pad: pad, Groups: groups}
 	return s, s.Validate()
 }
 
@@ -136,6 +161,30 @@ func MeasureDirect(arch Arch, s Shape, cfg Config) (*Result, error) {
 // MeasureWinograd is MeasureDirect for the fused Winograd dataflow.
 func MeasureWinograd(arch Arch, s Shape, cfg Config) (*Result, error) {
 	return conv.WinogradFusedDry(arch, s, cfg)
+}
+
+// MeasureKind is MeasureDirect for any algorithm kind: the same dry
+// evaluator behind that kind's tuning measurements, exposed for roofline
+// diagnosis of a tuned configuration.
+func MeasureKind(arch Arch, s Shape, kind Kind, cfg Config) (*Result, error) {
+	switch kind {
+	case autotune.Winograd:
+		return conv.WinogradFusedDry(arch, s, cfg)
+	case autotune.FFT:
+		r, err := conv.DryFFTTiled(arch, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &r, nil
+	case autotune.ImplicitGEMM:
+		r, err := conv.DryIGEMMTiled(arch, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &r, nil
+	default:
+		return conv.DirectTiledDry(arch, s, cfg)
+	}
 }
 
 // MeasureLibraryDirect returns the better of the two library direct paths
@@ -307,6 +356,34 @@ func ResumeWinograd(arch Arch, s Shape, cache *TuningCache, o TuneOptions) (*Tun
 	return autotune.TuneResumed(cache, sp, autotune.WinogradMeasurer(arch, s), o.lower())
 }
 
+// TuneKind runs the engine for any algorithm kind on its pruned searching
+// domain — the generic form of TuneDirect/TuneWinograd, covering the FFT
+// and implicit-GEMM templates too.
+func TuneKind(arch Arch, s Shape, kind Kind, o TuneOptions) (*TuneTrace, error) {
+	sp, err := newKindSpace(arch, s, kind)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.Tune(sp, autotune.KindMeasurer(arch, s, kind), o.lower())
+}
+
+// ResumeKind is ResumeDirect for any algorithm kind.
+func ResumeKind(arch Arch, s Shape, kind Kind, cache *TuningCache, o TuneOptions) (*TuneTrace, error) {
+	sp, err := newKindSpace(arch, s, kind)
+	if err != nil {
+		return nil, err
+	}
+	return autotune.TuneResumed(cache, sp, autotune.KindMeasurer(arch, s, kind), o.lower())
+}
+
+func newKindSpace(arch Arch, s Shape, kind Kind) (*autotune.Space, error) {
+	e := 0
+	if kind == autotune.Winograd {
+		e = 2
+	}
+	return autotune.NewSpace(s, arch, kind, e, true)
+}
+
 // NetworkLayer is one layer of a network-level tuning request.
 type NetworkLayer = autotune.NetworkLayer
 
@@ -337,6 +414,10 @@ type NetworkTuneOptions struct {
 	// Winograd also tunes the fused Winograd dataflow where it applies and
 	// keeps the better verdict, as the paper's end-to-end evaluation does.
 	Winograd bool
+	// Kinds lists extra algorithm kinds the per-layer kernel choice may
+	// consider where each applies (Winograd, FFT, ImplicitGEMM); the direct
+	// dataflow is always tuned and every layer keeps the fastest verdict.
+	Kinds []Kind
 	// Warm enables cross-layer warm-starting: finished layers feed a
 	// per-(arch, algorithm) transfer pool of normalized cost-model rows
 	// and incumbent configurations, and every subsequent layer starts from
@@ -376,6 +457,7 @@ func TuneNetworkContext(ctx context.Context, arch Arch, layers []NetworkLayer, c
 		Tune:     per.lower(),
 		Workers:  o.LayerWorkers,
 		Winograd: o.Winograd,
+		Kinds:    o.Kinds,
 		Warm:     o.Warm,
 		Resume:   o.Resume,
 	})

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/autotune"
 	"repro/internal/tensor"
 )
 
@@ -43,7 +44,11 @@ type LayerDescription struct {
 	Wker   int    `json:"wker,omitempty"`
 	Stride int    `json:"stride,omitempty"`
 	Pad    int    `json:"pad,omitempty"`
-	Repeat int    `json:"repeat,omitempty"`
+	// Groups is the channel group count of a grouped/depthwise convolution
+	// (cin and cout must both divide by it). 0 or 1 means dense; old clients
+	// that never send it keep their exact behavior.
+	Groups int `json:"groups,omitempty"`
+	Repeat int `json:"repeat,omitempty"`
 }
 
 // RequestOptions are the per-request tuning knobs a client may override;
@@ -56,6 +61,11 @@ type RequestOptions struct {
 	// Winograd overrides whether the fused Winograd dataflow is also tuned
 	// where it applies (nil = server default).
 	Winograd *bool `json:"winograd,omitempty"`
+	// Kinds lists extra algorithm kinds the per-layer kernel choice may
+	// consider where they apply ("winograd", "fft", "igemm"); the direct
+	// dataflow is always tuned. Unknown names are rejected. Empty keeps the
+	// server's default candidate set.
+	Kinds []string `json:"kinds,omitempty"`
 }
 
 // NetworkDescription is a network tuning request: an architecture name, a
@@ -97,7 +107,8 @@ func (d NetworkDescription) normalized() NetworkDescription {
 
 func (l LayerDescription) shape() Shape {
 	return Shape{Batch: l.Batch, Cin: l.Cin, Hin: l.Hin, Win: l.Win,
-		Cout: l.Cout, Hker: l.Hker, Wker: l.Wker, Strid: l.Stride, Pad: l.Pad}
+		Cout: l.Cout, Hker: l.Hker, Wker: l.Wker, Strid: l.Stride, Pad: l.Pad,
+		Groups: l.Groups}
 }
 
 // Validate checks the description against the shape validator and the wire
@@ -114,7 +125,7 @@ func (d NetworkDescription) Validate() error {
 		return fmt.Errorf("repro: network description: %d layers exceed the limit of %d", len(d.Layers), MaxDescriptionLayers)
 	}
 	for i, l := range d.Layers {
-		for _, v := range [...]int{l.Batch, l.Cin, l.Hin, l.Win, l.Cout, l.Hker, l.Wker, l.Stride, l.Pad, l.Repeat} {
+		for _, v := range [...]int{l.Batch, l.Cin, l.Hin, l.Win, l.Cout, l.Hker, l.Wker, l.Stride, l.Pad, l.Groups, l.Repeat} {
 			if v < 0 || v > MaxLayerDim {
 				return fmt.Errorf("repro: network description: layer %q (#%d): dimension %d outside [0, %d]", l.Name, i, v, MaxLayerDim)
 			}
@@ -127,8 +138,27 @@ func (d NetworkDescription) Validate() error {
 		if o.Budget < 0 || o.Budget > MaxRequestBudget {
 			return fmt.Errorf("repro: network description: budget %d outside [0, %d]", o.Budget, MaxRequestBudget)
 		}
+		if _, err := parseKinds(o.Kinds); err != nil {
+			return fmt.Errorf("repro: network description: %w", err)
+		}
 	}
 	return nil
+}
+
+// parseKinds validates a wire kind list against the engine's registry.
+func parseKinds(names []string) ([]Kind, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	kinds := make([]Kind, len(names))
+	for i, n := range names {
+		k, err := autotune.ParseKind(n)
+		if err != nil {
+			return nil, err
+		}
+		kinds[i] = k
+	}
+	return kinds, nil
 }
 
 // NetworkLayers converts a validated description into the network tuner's
@@ -150,7 +180,7 @@ func DescribeNetwork(archName string, layers []NetworkLayer) NetworkDescription 
 		d.Layers[i] = LayerDescription{Name: l.Name,
 			Batch: s.Batch, Cin: s.Cin, Hin: s.Hin, Win: s.Win,
 			Cout: s.Cout, Hker: s.Hker, Wker: s.Wker,
-			Stride: s.Strid, Pad: s.Pad, Repeat: l.Repeat}
+			Stride: s.Strid, Pad: s.Pad, Groups: s.Groups, Repeat: l.Repeat}
 	}
 	return d.normalized()
 }
@@ -208,7 +238,7 @@ func (d ConfigDescription) Config() Config {
 type VerdictDescription struct {
 	Layer   string            `json:"layer"`
 	Repeat  int               `json:"repeat"`
-	Kind    string            `json:"kind"` // "direct" | "winograd"
+	Kind    string            `json:"kind"` // "direct" | "winograd" | "fft" | "igemm"
 	Config  ConfigDescription `json:"config"`
 	Seconds float64           `json:"seconds"`
 	GFLOPS  float64           `json:"gflops"`
