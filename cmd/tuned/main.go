@@ -60,7 +60,31 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an open breaker waits before half-open probe measurements (default 5s)")
 	breakerProbes := flag.Int("breaker-probes", 0, "measurements a half-open breaker admits; one success restores service (default 3)")
 	refineWorkers := flag.Int("refine-workers", 0, "background workers measuring analytically-answered requests once budget frees up (default 1)")
+	peers := flag.String("peers", "", "comma-separated replica addresses forming a cluster (all replicas run the identical list; empty = standalone)")
+	advertise := flag.String("advertise", "", "this replica's address in -peers (required with -peers)")
+	replicas := flag.Int("replicas", 0, "replication factor: owners per request key (default 2, capped at the peer count)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "wait on the primary owner before hedging a forwarded request to the secondary (default 100ms)")
+	probeInterval := flag.Duration("probe-interval", 0, "peer health-check cadence; backs off exponentially while a peer is down (default 1s)")
 	flag.Parse()
+
+	clusterCfg, err := flagConfig{
+		budget: *budget, seed: *seed, workers: *workers, layerWorkers: *layerWorkers,
+		refineWorkers: *refineWorkers, maxInflight: *maxInflight,
+		cacheEntries: *cacheEntries, cacheBytes: *cacheBytes, cacheTTL: *cacheTTL,
+		batchWindow: *batchWindow, requestTimeout: *requestTimeout,
+		snapshotInterval: *snapshotInterval, measureRetries: *measureRetries,
+		retryBackoff: *retryBackoff, retryBackoffMax: *retryBackoffMax,
+		noiseThreshold: *noiseThreshold, noiseMedian: *noiseMedian,
+		chaosFailRate: *chaosFailRate, chaosMaxConsecutive: *chaosMaxConsecutive,
+		breakerThreshold: *breakerThreshold, breakerWindow: *breakerWindow,
+		breakerCooldown: *breakerCooldown, breakerProbes: *breakerProbes,
+		peers: *peers, advertise: *advertise, replicas: *replicas,
+		hedgeAfter: *hedgeAfter, probeInterval: *probeInterval,
+	}.validate()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	opts := autotune.DefaultOptions()
 	if *budget > 0 {
@@ -95,6 +119,7 @@ func main() {
 		Breaker: autotune.BreakerConfig{Threshold: *breakerThreshold,
 			Window: *breakerWindow, Cooldown: *breakerCooldown, Probes: *breakerProbes},
 		RefineWorkers: *refineWorkers,
+		Cluster:       clusterCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

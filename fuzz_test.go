@@ -44,3 +44,40 @@ func FuzzParseNetworkDescription(f *testing.F) {
 		}
 	})
 }
+
+// The forwarded-request decoder parses what peer replicas POST to
+// /v1/cluster/tune. A replica's cluster port is as exposed as its client
+// port, so the envelope gets the same fuzz contract: no panic, and accepted
+// envelopes re-encode to themselves.
+func FuzzParseForwardedTuneRequest(f *testing.F) {
+	f.Add([]byte(`{"origin":"http://127.0.0.1:9911","network":{"arch":"V100","layers":[{"cin":64,"hin":28,"cout":64,"hker":3,"pad":1}],"options":{"budget":16}}}`))
+	f.Add([]byte(`{"origin":"http://10.0.0.2:8080","attempt":2,"network":{"arch":"TitanX","layers":[{"cin":3,"hin":224,"cout":64,"hker":7,"stride":2,"pad":3}],"options":{"seed":7,"kinds":["fft"]}}}`))
+	f.Add([]byte(`{"network":{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3}]}}`))
+	f.Add([]byte(`{"origin":"x","attempt":-1,"network":{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3}]}}`))
+	f.Add([]byte(`{"origin":"x","attempt":9,"network":{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3}]}}`))
+	f.Add([]byte(`{"origin":"x","network":{"arch":"","layers":[]}}`))
+	f.Add([]byte(`{"origin":"x","network":{"arch":"V100","layers":[{"cin":-1,"hin":8,"cout":8,"hker":3}]}}`))
+	f.Add([]byte(`{"origin":"x","hops":1,"network":{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3}]}}`))
+	f.Add([]byte(`{"origin":"x","network":{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3,"pad":1}]}}{}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ParseForwardedTuneRequest(data)
+		if err != nil {
+			return
+		}
+		again, err := json.Marshal(fr)
+		if err != nil {
+			t.Fatalf("accepted envelope failed to marshal: %v", err)
+		}
+		fr2, err := ParseForwardedTuneRequest(again)
+		if err != nil {
+			t.Fatalf("re-encoded envelope rejected: %v", err)
+		}
+		if fr2.Origin != fr.Origin || fr2.Attempt != fr.Attempt ||
+			fr2.Network.Arch != fr.Network.Arch || len(fr2.Network.Layers) != len(fr.Network.Layers) {
+			t.Fatalf("round trip changed the envelope: %+v != %+v", fr2, fr)
+		}
+	})
+}

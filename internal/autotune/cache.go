@@ -525,6 +525,77 @@ func (e CacheEntry) validate() (string, error) {
 	return cacheKey(e.Arch, kind, s), nil
 }
 
+// Entry retrieves the raw persisted entry of one key — engine state
+// included when present — for callers shipping entries elsewhere (the
+// cluster replication path). The bool reports presence.
+func (c *Cache) Entry(archName string, kind Kind, s shapes.ConvShape) (CacheEntry, bool) {
+	return c.getEntry(archName, kind, s)
+}
+
+// Key returns the entry's cache key after validating it — the same
+// validation Load applies, so an entry whose Key succeeds is safe to merge
+// into any cache.
+func (e CacheEntry) Key() (string, error) { return e.validate() }
+
+// EncodeEntries wraps entries in the versioned, checksummed on-disk/wire
+// envelope — the exact format Save writes, reused as the replication and
+// hinted-handoff payload between cluster replicas so both sides share one
+// hardened (fuzzed) decoder.
+func EncodeEntries(entries []CacheEntry) ([]byte, error) {
+	sum, err := entriesChecksum(entries)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cacheFile{Version: cacheFormatVersion, Checksum: sum, Entries: entries})
+}
+
+// DecodeEntries decodes an envelope produced by EncodeEntries (or Save),
+// verifying version, checksum and every entry's invariants, without
+// committing anything to a cache. The first invalid entry rejects the whole
+// envelope — replication payloads are all-or-nothing, like Load.
+func DecodeEntries(data []byte) ([]CacheEntry, error) {
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("autotune: cache decode: %w", err)
+	}
+	if f.Version != cacheFormatVersion {
+		return nil, fmt.Errorf("autotune: unsupported cache format version %d (want %d)", f.Version, cacheFormatVersion)
+	}
+	if f.Checksum != "" {
+		sum, err := entriesChecksum(f.Entries)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: cache checksum: %w", err)
+		}
+		if sum != f.Checksum {
+			return nil, fmt.Errorf("autotune: cache checksum mismatch: file says %s, entries sum to %s", f.Checksum, sum)
+		}
+	}
+	for _, e := range f.Entries {
+		if _, err := e.validate(); err != nil {
+			return nil, err
+		}
+	}
+	return f.Entries, nil
+}
+
+// PutEntries validates entries and merges them all — the receiving half of
+// cluster replication. Like Load, a rejected entry leaves the cache
+// untouched rather than partially updated.
+func (c *Cache) PutEntries(entries []CacheEntry) error {
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		key, err := e.validate()
+		if err != nil {
+			return err
+		}
+		keys[i] = key
+	}
+	for i, e := range entries {
+		c.put(keys[i], e)
+	}
+	return nil
+}
+
 // SaveFile writes the cache to path atomically: the snapshot goes to a
 // temp file in the same directory, is fsynced, then renamed over path. A
 // crash at any point leaves either the previous complete file or the new

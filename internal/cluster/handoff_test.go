@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/autotune"
+)
+
+// testEntry builds a valid cache entry; cout varies the cache key, seconds
+// distinguishes writes to the same key.
+func testEntry(t *testing.T, cout int, seconds float64) autotune.CacheEntry {
+	t.Helper()
+	raw := fmt.Sprintf(`{"arch":"V100","kind":"direct",
+		"shape":{"Batch":1,"Cin":16,"Hin":8,"Win":8,"Cout":%d,"Hker":3,"Wker":3,"Stride":1,"Pad":1},
+		"config":{"TileX":16,"TileY":1,"TileZ":4,"ThreadsX":16,"ThreadsY":1,"ThreadsZ":4,"SharedPerBlock":4096},
+		"seconds":%g,"gflops":4}`, cout, seconds)
+	var e autotune.CacheEntry
+	if err := json.Unmarshal([]byte(raw), &e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Key(); err != nil {
+		t.Fatalf("test entry invalid: %v", err)
+	}
+	return e
+}
+
+func TestHandoffDedupAndLatestWriteWins(t *testing.T) {
+	h := NewHandoff(16)
+	const peer = "http://127.0.0.1:9912"
+	h.Queue(peer, []autotune.CacheEntry{testEntry(t, 8, 0.010)})
+	h.Queue(peer, []autotune.CacheEntry{testEntry(t, 8, 0.003), testEntry(t, 32, 0.007)})
+	if d := h.Depth(peer); d != 2 {
+		t.Fatalf("depth %d after dedup, want 2", d)
+	}
+	got := h.Take(peer)
+	if len(got) != 2 {
+		t.Fatalf("took %d entries, want 2", len(got))
+	}
+	for _, e := range got {
+		if e.Shape.Cout == 8 && e.Seconds != 0.003 {
+			t.Fatalf("stale write survived: seconds %v, want 0.003", e.Seconds)
+		}
+	}
+	if h.Take(peer) != nil {
+		t.Fatal("second Take returned entries")
+	}
+}
+
+func TestHandoffBoundDropsAndCounts(t *testing.T) {
+	h := NewHandoff(2)
+	const peer = "p"
+	h.Queue(peer, []autotune.CacheEntry{
+		testEntry(t, 8, 1), testEntry(t, 16, 1), testEntry(t, 32, 1),
+	})
+	if d := h.Depth(peer); d != 2 {
+		t.Fatalf("depth %d, want bound 2", d)
+	}
+	// Updating a queued key costs no capacity even at the bound.
+	h.Queue(peer, []autotune.CacheEntry{testEntry(t, 8, 2)})
+	if d := h.Depth(peer); d != 2 {
+		t.Fatalf("in-place update changed depth to %d", d)
+	}
+	// Invalid entries are dropped, not queued.
+	h.Queue("other", []autotune.CacheEntry{{Arch: "V100", Kind: "no-such-kind"}})
+	if d := h.Depth("other"); d != 0 {
+		t.Fatalf("invalid entry queued (depth %d)", d)
+	}
+	queued, _, dropped := h.Stats()
+	if queued != 3 || dropped != 2 {
+		t.Fatalf("stats queued=%d dropped=%d, want 3 and 2", queued, dropped)
+	}
+}
+
+// A key re-queued after Take (a fresher verdict during the failed replay)
+// must win over the stale copy Requeue returns.
+func TestHandoffRequeuePreservesFresherWrites(t *testing.T) {
+	h := NewHandoff(16)
+	const peer = "p"
+	h.Queue(peer, []autotune.CacheEntry{testEntry(t, 8, 0.010), testEntry(t, 16, 0.020)})
+	taken := h.Take(peer)
+	h.Queue(peer, []autotune.CacheEntry{testEntry(t, 8, 0.001)}) // fresher, mid-replay
+	h.Requeue(peer, taken)
+	if d := h.Depth(peer); d != 2 {
+		t.Fatalf("depth %d after requeue, want 2", d)
+	}
+	for _, e := range h.Take(peer) {
+		if e.Shape.Cout == 8 && e.Seconds != 0.001 {
+			t.Fatalf("requeue clobbered fresher write: seconds %v", e.Seconds)
+		}
+	}
+}
+
+func TestHandoffSnapshotRestoreRoundTrip(t *testing.T) {
+	h := NewHandoff(16)
+	h.Queue("a", []autotune.CacheEntry{testEntry(t, 8, 1), testEntry(t, 16, 1)})
+	h.Queue("b", []autotune.CacheEntry{testEntry(t, 32, 1)})
+	snap := h.Snapshot()
+	if h.DepthAll() != 3 {
+		t.Fatalf("snapshot drained the queue (depth %d)", h.DepthAll())
+	}
+
+	// The snapshot must survive the JSON round trip the daemon's persistence
+	// applies to it.
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string][]autotune.CacheEntry
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewHandoff(16)
+	restored.Restore(back)
+	if restored.DepthAll() != 3 || restored.Depth("a") != 2 || restored.Depth("b") != 1 {
+		t.Fatalf("restored depths a=%d b=%d total=%d, want 2/1/3",
+			restored.Depth("a"), restored.Depth("b"), restored.DepthAll())
+	}
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func membershipConfig() Config {
+	return Config{
+		Self:            "http://127.0.0.1:9911",
+		Peers:           threePeers(),
+		ProbeInterval:   5 * time.Millisecond,
+		ProbeBackoffMax: 20 * time.Millisecond,
+	}.Normalized()
+}
+
+// A peer whose probes fail goes down; when probes succeed again it comes
+// back up and OnRejoin fires exactly once per rejoin.
+func TestMembershipDetectsDownAndRejoin(t *testing.T) {
+	cfg := membershipConfig()
+	peerB := cfg.Peers[1]
+
+	var dead sync.Map // addr -> bool
+	dead.Store(peerB, true)
+	var rejoins atomic.Int64
+	m := NewMembership(cfg,
+		func(addr string) error {
+			if v, ok := dead.Load(addr); ok && v.(bool) {
+				return errors.New("unreachable")
+			}
+			return nil
+		},
+		func(addr string) {
+			if addr != peerB {
+				t.Errorf("rejoin fired for %s, want %s", addr, peerB)
+			}
+			rejoins.Add(1)
+		})
+	m.Start()
+	defer m.Stop()
+
+	waitFor(t, "peer B marked down", func() bool { return !m.Up(peerB) })
+	if !m.Up(cfg.Peers[2]) {
+		t.Fatal("healthy peer C marked down")
+	}
+
+	dead.Store(peerB, false)
+	waitFor(t, "peer B rejoined", func() bool { return m.Up(peerB) && rejoins.Load() == 1 })
+
+	snap := m.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d peers, want 2 (self excluded)", len(snap))
+	}
+	for _, p := range snap {
+		if !p.Up {
+			t.Errorf("peer %s down in snapshot after recovery", p.Addr)
+		}
+	}
+}
+
+// MarkDown is the passive path: it flips state immediately, without waiting
+// for a probe, and the probe loop repairs it.
+func TestMembershipMarkDown(t *testing.T) {
+	cfg := membershipConfig()
+	peerC := cfg.Peers[2]
+	var rejoins atomic.Int64
+	m := NewMembership(cfg, func(string) error { return nil }, func(string) { rejoins.Add(1) })
+	if !m.Up(peerC) {
+		t.Fatal("peers must start optimistically up")
+	}
+	m.MarkDown(peerC)
+	if m.Up(peerC) {
+		t.Fatal("MarkDown did not take")
+	}
+	m.MarkDown(peerC) // idempotent: no double transition
+	m.Start()
+	defer m.Stop()
+	waitFor(t, "probe repaired the passive mark", func() bool { return m.Up(peerC) && rejoins.Load() == 1 })
+	// Unknown addresses are never up.
+	if m.Up("http://nobody:1") {
+		t.Fatal("unknown address reported up")
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the peer-to-peer HTTP client: forwards proxied tune requests,
+// pushes replication envelopes, probes health. Pushes and probes retry
+// transient failures with capped exponential backoff (the RetryPolicy
+// shape from the measurement seam, on the network plane); forwards do not
+// retry here — the routing layer owns the failover ladder across owners,
+// and a blind same-peer retry would only double a dead peer's timeout.
+type Client struct {
+	http *http.Client
+	// retries is extra attempts for Push/Probe (total attempts = retries+1).
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	probeTO     time.Duration
+}
+
+// ClientConfig sizes the client. Zero values take the defaults.
+type ClientConfig struct {
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// Retries is how many times a failed Push or Probe attempt is retried
+	// (default 1).
+	Retries int
+	// BackoffBase is the wait before the first retry, doubling per retry
+	// (default 25ms) up to BackoffMax (default 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+}
+
+// NewClient builds a peer client. Forwarded tune requests can legitimately
+// run for the length of an engine sweep, so the underlying http.Client has
+// no global timeout; per-call contexts and the probe timeout bound
+// everything that must stay short.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.ProbeTimeout == 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = time.Second
+	}
+	return &Client{
+		http:        &http.Client{},
+		retries:     cfg.Retries,
+		backoffBase: cfg.BackoffBase,
+		backoffMax:  cfg.BackoffMax,
+		probeTO:     cfg.ProbeTimeout,
+	}
+}
+
+// Forward proxies one tune request body to addr's cluster endpoint and
+// returns the peer's status and response body verbatim. A transport error
+// (peer unreachable, connection torn mid-response) returns err != nil; an
+// HTTP error status is returned to the caller to interpret — the routing
+// layer treats 5xx as "try the next owner" and passes everything else
+// through to the client.
+func (c *Client) Forward(ctx context.Context, addr string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/cluster/tune", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// Push delivers one replication envelope (the v2 cache entry envelope) to
+// addr, retrying transient failures with capped exponential backoff. A 2xx
+// means the peer validated and merged the entries.
+func (c *Client) Push(ctx context.Context, addr string, envelope []byte) error {
+	return c.withRetry(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/cluster/replicate", bytes.NewReader(envelope))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("cluster: replicate to %s: status %d", addr, resp.StatusCode)
+		}
+		return nil
+	})
+}
+
+// Probe is one health check: GET /healthz answering 200 within the probe
+// timeout means up.
+func (c *Client) Probe(addr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.probeTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: probe %s: status %d", addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// withRetry runs op up to retries+1 times with capped exponential backoff.
+func (c *Client) withRetry(ctx context.Context, op func() error) error {
+	var err error
+	delay := c.backoffBase
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= c.retries {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(delay):
+		}
+		delay *= 2
+		if delay > c.backoffMax {
+			delay = c.backoffMax
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// Ring is the consistent-hash ring assigning request keys to replicas.
+// Every replica builds it from the same static peer list, so ownership is
+// agreed without any coordination: Owners(key) returns the same ordered
+// list on every node. Each peer is hashed onto the ring at ringVnodes
+// virtual points, which evens the key space out across a handful of real
+// nodes; ownership of a key is the first n distinct peers walking clockwise
+// from the key's hash — position one is the primary owner, the rest are the
+// replication targets and the failover ladder, in order.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	peers  int
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// ringVnodes is the virtual points per peer. 128 keeps the expected load
+// imbalance across a small static cluster within a few percent.
+const ringVnodes = 128
+
+// NewRing builds the ring over the full peer list (self included).
+func NewRing(peers []string) *Ring {
+	r := &Ring{points: make([]ringPoint, 0, len(peers)*ringVnodes), peers: len(peers)}
+	var buf []byte
+	for _, p := range peers {
+		for v := 0; v < ringVnodes; v++ {
+			buf = append(buf[:0], p...)
+			buf = append(buf, '#')
+			buf = strconv.AppendInt(buf, int64(v), 10)
+			r.points = append(r.points, ringPoint{hash: fnv64(buf), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break deterministically by address so
+		// every replica still agrees on the walk order.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// Owners returns the n distinct peers owning key, primary first. n is
+// capped at the peer count.
+func (r *Ring) Owners(key string, n int) []string {
+	if n > r.peers {
+		n = r.peers
+	}
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	h := fnv64([]byte(key))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.peer] {
+			seen[p.peer] = true
+			owners = append(owners, p.peer)
+		}
+	}
+	return owners
+}
+
+// Primary is Owners' first entry.
+func (r *Ring) Primary(key string) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}
+
+// fnv64 is FNV-1a over b — the same deterministic hash family the cache
+// shards and the chaos schedule use, needing no seed agreement between
+// replicas — run through a 64-bit finalizer. Raw FNV-1a mixes the high bits
+// poorly on near-identical inputs (peer vnode labels differ in a few trailing
+// bytes), which skews ring placement; the finalizer's avalanche restores the
+// uniform spread the vnode count is sized for.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

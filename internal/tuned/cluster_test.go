@@ -1,0 +1,509 @@
+package tuned
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/autotune"
+	"repro/internal/chaos"
+	"repro/internal/cluster"
+	"repro/internal/memsim"
+	"repro/internal/models"
+)
+
+// The clustered e2e suite: N real replicas on real listeners, requests
+// proxied between them over real HTTP, replicas killed mid-sweep and
+// rebooted fresh. The acceptance property is the replica-loss chaos proof:
+// with 3 replicas at replication factor 2, killing any one mid-sweep yields
+// zero client-visible errors, the killed replica rejoins and drains its
+// peers' hinted handoff to zero, and a repeated request lands on the
+// rejoined replica's replicated cache with zero fresh measurements. The CI
+// cluster job runs this suite under -race with TUNED_E2E_CHAOS set, so the
+// proof holds on a flaky measurement backend too.
+
+// clusterHarness runs n replicas as real http.Servers on real ports —
+// httptest is avoided deliberately: its Close waits for handlers, while a
+// killed replica must drop mid-request like a crashed process.
+type clusterHarness struct {
+	t         *testing.T
+	addrs     []string // advertise addresses, http://127.0.0.1:port
+	hostports []string
+	cfgs      []Config
+	servers   []*Server
+	https     []*http.Server
+
+	mu    sync.Mutex
+	alive []bool
+}
+
+// newClusterHarness boots n replicas sharing one peer list. mutate, when
+// non-nil, adjusts each replica's daemon config before boot (same config on
+// every replica, as a real deployment would run).
+func newClusterHarness(t *testing.T, n int, ccfg cluster.Config, mutate func(i int, cfg *Config)) *clusterHarness {
+	t.Helper()
+	h := &clusterHarness{t: t}
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		h.hostports = append(h.hostports, ln.Addr().String())
+		h.addrs = append(h.addrs, "http://"+ln.Addr().String())
+	}
+	ccfg.Peers = h.addrs
+	if ccfg.ProbeInterval == 0 {
+		ccfg.ProbeInterval = 20 * time.Millisecond
+	}
+	if ccfg.ProbeBackoffMax == 0 {
+		ccfg.ProbeBackoffMax = 100 * time.Millisecond
+	}
+	h.alive = make([]bool, n)
+	for i := 0; i < n; i++ {
+		cc := ccfg
+		cc.Self = h.addrs[i]
+		cfg := Config{Tune: tinyOpts(12, 5), Winograd: true, Warm: true, Cluster: cc}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		cfg = applyE2EEnv(t, cfg)
+		h.cfgs = append(h.cfgs, cfg)
+		h.servers = append(h.servers, nil)
+		h.https = append(h.https, nil)
+		h.boot(i, listeners[i])
+	}
+	t.Cleanup(func() {
+		for i := range h.servers {
+			h.mu.Lock()
+			alive := h.alive[i]
+			h.mu.Unlock()
+			if alive {
+				h.kill(i)
+			}
+		}
+	})
+	return h
+}
+
+func (h *clusterHarness) boot(i int, ln net.Listener) {
+	h.t.Helper()
+	srv, err := New(h.cfgs[i])
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	h.mu.Lock()
+	h.servers[i] = srv
+	h.https[i] = hs
+	h.alive[i] = true
+	h.mu.Unlock()
+	go hs.Serve(ln)
+}
+
+// kill emulates a replica crash: the listener and every open connection
+// drop immediately (in-flight requests on it die mid-response), then the
+// dead instance's background loops are stopped so the test stays leak- and
+// race-clean. The Server instance is discarded — rejoin boots a fresh one.
+func (h *clusterHarness) kill(i int) {
+	h.t.Helper()
+	h.mu.Lock()
+	hs, srv := h.https[i], h.servers[i]
+	h.alive[i] = false
+	h.mu.Unlock()
+	hs.Close()
+	srv.Close()
+}
+
+// restart rejoins replica i: a fresh Server (fresh cache unless the config
+// carries a StatePath — crash semantics) on the same advertised port.
+func (h *clusterHarness) restart(i int) {
+	h.t.Helper()
+	var ln net.Listener
+	var err error
+	// The just-released port can straggle briefly; retry the bind.
+	for attempt := 0; attempt < 50; attempt++ {
+		ln, err = net.Listen("tcp", h.hostports[i])
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		h.t.Fatalf("rebind %s: %v", h.hostports[i], err)
+	}
+	h.boot(i, ln)
+}
+
+// ownersOf resolves which replicas own a request, primary first.
+func (h *clusterHarness) ownersOf(desc repro.NetworkDescription) []int {
+	h.t.Helper()
+	srv := h.servers[0]
+	arch, err := memsim.ByName(desc.Arch)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	opts, winograd, kinds := srv.requestOptions(desc.Options)
+	key := requestKey(arch.Name, desc.NetworkLayers(), opts.Budget, opts.Seed, winograd, kinds)
+	var owners []int
+	for _, addr := range srv.cluster.ring.Owners(key, srv.cluster.cfg.Replicas) {
+		for i, a := range h.addrs {
+			if a == addr {
+				owners = append(owners, i)
+			}
+		}
+	}
+	return owners
+}
+
+// nonOwnerOf returns a replica index outside owners.
+func (h *clusterHarness) nonOwnerOf(owners []int) int {
+	h.t.Helper()
+	for i := range h.servers {
+		owned := false
+		for _, o := range owners {
+			if o == i {
+				owned = true
+			}
+		}
+		if !owned {
+			return i
+		}
+	}
+	h.t.Fatal("no non-owner replica")
+	return -1
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A request POSTed to a replica that does not own its key is proxied to the
+// owner, answered measured, and the produced cache entries are replicated
+// to the secondary owner — which then serves the identical request from
+// cache with zero fresh measurements of its own.
+func TestClusterForwardsToOwnerAndReplicates(t *testing.T) {
+	h := newClusterHarness(t, 3, cluster.Config{Replicas: 2, HedgeAfter: 2 * time.Second}, nil)
+	desc := repro.DescribeNetwork(testArch.Name, netA())
+	owners := h.ownersOf(desc)
+	client := h.nonOwnerOf(owners)
+	primary, secondary := owners[0], owners[1]
+
+	resp, code := postTune(t, h.addrs[client], desc)
+	if code != http.StatusOK {
+		t.Fatalf("forwarded request: status %d", code)
+	}
+	for _, v := range resp.Verdicts {
+		if v.Tier != autotune.TierMeasured.String() {
+			t.Errorf("layer %s tier %q, want measured", v.Layer, v.Tier)
+		}
+	}
+	if got := h.servers[client].cluster.forwarded.Load(); got != 1 {
+		t.Errorf("client forwarded %d requests, want 1", got)
+	}
+	if got := h.servers[primary].cluster.forwardServed.Load(); got != 1 {
+		t.Errorf("primary served %d forwarded requests, want 1", got)
+	}
+	if n := h.servers[client].Measurements(); n != 0 {
+		t.Errorf("non-owner measured %d times", n)
+	}
+
+	// Replication is async; once the secondary has merged the push it must
+	// serve the identical request without a single fresh measurement.
+	waitUntil(t, "secondary merged the replication push", func() bool {
+		return h.servers[secondary].cluster.mergedEntries.Load() > 0
+	})
+	resp2, code := postTune(t, h.addrs[secondary], desc)
+	if code != http.StatusOK {
+		t.Fatalf("replica-local request: status %d", code)
+	}
+	for _, v := range resp2.Verdicts {
+		if !v.Shared {
+			t.Errorf("layer %s not served shared from the replicated cache", v.Layer)
+		}
+	}
+	if n := h.servers[secondary].Measurements(); n != 0 {
+		t.Errorf("secondary measured %d times despite replication", n)
+	}
+
+	// The peer table and the cluster series are visible.
+	health := getHealth(t, h.addrs[client])
+	if health.Cluster == nil || len(health.Cluster.Peers) != 2 || health.Cluster.ReplicationFactor != 2 {
+		t.Fatalf("healthz cluster block = %+v", health.Cluster)
+	}
+	for _, p := range health.Cluster.Peers {
+		if !p.Up {
+			t.Errorf("peer %s down in a healthy cluster", p.Addr)
+		}
+	}
+	m := getMetrics(t, h.addrs[client])
+	mustContain(t, m, "tuned_forwarded_total 1")
+	mustContain(t, m, `tuned_peer_up{peer="`+h.addrs[primary]+`"} 1`)
+	mustContain(t, m, "tuned_handoff_depth 0")
+	mp := getMetrics(t, h.addrs[primary])
+	mustContain(t, mp, "tuned_forward_served_total 1")
+	mustContain(t, mp, "tuned_replicate_pushed_entries_total")
+}
+
+// The acceptance chaos proof. Three replicas, replication factor 2: the
+// primary owner of a ResNet-18 sweep is killed mid-sweep while clients keep
+// POSTing to a surviving non-owner. Required outcome: zero client-visible
+// errors (every response 200, every verdict tier measured/refined/
+// analytic), the killed replica rejoins and the survivors drain their
+// hinted handoff to zero, and the rejoined replica then serves the repeated
+// request from its replicated cache with zero fresh measurements.
+func TestClusterReplicaLossMidSweepZeroClientErrors(t *testing.T) {
+	h := newClusterHarness(t, 3, cluster.Config{Replicas: 2, HedgeAfter: 150 * time.Millisecond},
+		func(i int, cfg *Config) {
+			// Stretch the sweep so the kill lands mid-flight.
+			cfg.Tune = tinyOpts(12, 3)
+			cfg.Tune.MeasureLatency = 2 * time.Millisecond
+		})
+	resnet := repro.DescribeNetwork(testArch.Name, models.ResNet18().NetworkLayers())
+	owners := h.ownersOf(resnet)
+	client := h.nonOwnerOf(owners)
+	primary, secondary := owners[0], owners[1]
+
+	// Concurrent clients: the ResNet sweep plus a second distinct network,
+	// all through the surviving non-owner replica.
+	type outcome struct {
+		resp repro.TuneResponse
+		code int
+		name string
+	}
+	results := make(chan outcome, 3)
+	post := func(name string, d repro.NetworkDescription) {
+		resp, code := postTune(t, h.addrs[client], d)
+		results <- outcome{resp, code, name}
+	}
+	go post("resnet-1", resnet)
+	go post("resnet-2", resnet)
+	go post("netB", repro.DescribeNetwork(testArch.Name, netB()))
+
+	time.Sleep(80 * time.Millisecond) // let the sweep start on the owner
+	h.kill(primary)
+
+	for i := 0; i < 3; i++ {
+		out := <-results
+		if out.code != http.StatusOK {
+			t.Fatalf("%s: client-visible error: status %d", out.name, out.code)
+		}
+		for _, v := range out.resp.Verdicts {
+			switch v.Tier {
+			case autotune.TierMeasured.String(), autotune.TierRefined.String(), autotune.TierAnalytic.String():
+			default:
+				t.Errorf("%s: layer %s has tier %q", out.name, v.Layer, v.Tier)
+			}
+		}
+	}
+
+	// The secondary owner completed the failed-over sweep; its replication
+	// push to the dead primary must have parked as hinted handoff.
+	waitUntil(t, "secondary sees the primary down", func() bool {
+		return !h.servers[secondary].cluster.membership.Up(h.addrs[primary])
+	})
+	waitUntil(t, "handoff queued for the dead primary", func() bool {
+		return h.servers[secondary].cluster.handoff.Depth(h.addrs[primary]) > 0
+	})
+
+	// Rejoin: a fresh instance (fresh cache — crash semantics) on the same
+	// address. The survivors' probes notice and drain the handoff to zero.
+	h.restart(primary)
+	waitUntil(t, "handoff drained to the rejoined primary", func() bool {
+		_, replayed, _ := h.servers[secondary].cluster.handoff.Stats()
+		return replayed > 0 && h.servers[secondary].cluster.handoff.Depth(h.addrs[primary]) == 0
+	})
+	m := getMetrics(t, h.addrs[secondary])
+	mustContain(t, m, "tuned_handoff_depth 0")
+
+	// The rejoined replica owns the key again and serves the repeat from
+	// the replicated entries alone: zero fresh measurements, all shared.
+	resp, code := postTune(t, h.addrs[primary], resnet)
+	if code != http.StatusOK {
+		t.Fatalf("repeat on rejoined primary: status %d", code)
+	}
+	for _, v := range resp.Verdicts {
+		if !v.Shared {
+			t.Errorf("layer %s not served from the replicated cache", v.Layer)
+		}
+		if v.Tier != autotune.TierMeasured.String() && v.Tier != autotune.TierRefined.String() {
+			t.Errorf("layer %s tier %q after rejoin", v.Layer, v.Tier)
+		}
+	}
+	if n := h.servers[primary].Measurements(); n != 0 {
+		t.Errorf("rejoined primary ran %d fresh measurements, want 0 (replicated cache)", n)
+	}
+}
+
+// With every owner of a key unreachable, the proxying replica answers from
+// its local analytic tier — 200, tier "analytic" — never a 5xx; once an
+// owner rejoins, the same request routes to it again and comes back
+// measured.
+func TestClusterAllOwnersDownFallsBackToAnalytic(t *testing.T) {
+	h := newClusterHarness(t, 3, cluster.Config{Replicas: 2, HedgeAfter: 50 * time.Millisecond}, nil)
+	desc := repro.DescribeNetwork(testArch.Name, netA())
+	owners := h.ownersOf(desc)
+	client := h.nonOwnerOf(owners)
+	h.kill(owners[0])
+	h.kill(owners[1])
+
+	resp, code := postTune(t, h.addrs[client], desc)
+	if code != http.StatusOK {
+		t.Fatalf("orphaned request: status %d, want 200 from the analytic floor", code)
+	}
+	if resp.Tier != autotune.TierAnalytic.String() {
+		t.Fatalf("orphaned request tier %q, want analytic", resp.Tier)
+	}
+	if got := h.servers[client].cluster.localFallbacks.Load(); got != 1 {
+		t.Errorf("local fallbacks %d, want 1", got)
+	}
+	mustContain(t, getMetrics(t, h.addrs[client]), "tuned_forward_local_fallback_total 1")
+
+	// An owner rejoining restores measured routing for the same request.
+	h.restart(owners[0])
+	waitUntil(t, "client sees the rejoined owner", func() bool {
+		return h.servers[client].cluster.membership.Up(h.addrs[owners[0]])
+	})
+	resp, code = postTune(t, h.addrs[client], desc)
+	if code != http.StatusOK || resp.Tier == autotune.TierAnalytic.String() {
+		t.Fatalf("post-rejoin request: status %d tier %q, want 200 measured", code, resp.Tier)
+	}
+}
+
+// Hinted handoff survives a crash of the replica holding it: the aux
+// snapshot persists the queue alongside the cache state, a fresh boot
+// restores it, and the drain still happens when the down peer finally
+// rejoins.
+func TestClusterHandoffPersistsAcrossRestart(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "tuned.cache")
+	h := newClusterHarness(t, 2, cluster.Config{Replicas: 2, HedgeAfter: 50 * time.Millisecond},
+		func(i int, cfg *Config) {
+			if i == 0 {
+				cfg.StatePath = state
+			}
+		})
+	desc := repro.DescribeNetwork(testArch.Name, netA())
+
+	// With 2 peers at RF 2 every key is owned by both: kill B, serve on A,
+	// and the replication to B must park as handoff.
+	h.kill(1)
+	if _, code := postTune(t, h.addrs[0], desc); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	waitUntil(t, "handoff parked for the dead peer", func() bool {
+		return h.servers[0].cluster.handoff.Depth(h.addrs[1]) > 0
+	})
+
+	// Crash-restart A; the handoff file must bring the backlog back.
+	h.kill(0)
+	if _, err := os.Stat(state + ".handoff"); err != nil {
+		t.Fatalf("handoff snapshot not written: %v", err)
+	}
+	h.restart(0)
+	if h.servers[0].cluster.handoff.Depth(h.addrs[1]) == 0 {
+		t.Fatal("restored replica lost its handoff backlog")
+	}
+
+	// B rejoins: the restored backlog drains and B serves the request from
+	// the replayed entries with zero fresh measurements.
+	waitUntil(t, "restored replica sees the peer down", func() bool {
+		return !h.servers[0].cluster.membership.Up(h.addrs[1])
+	})
+	h.restart(1)
+	waitUntil(t, "restored handoff drained", func() bool {
+		return h.servers[0].cluster.handoff.Depth(h.addrs[1]) == 0 &&
+			h.servers[1].cluster.mergedEntries.Load() > 0
+	})
+	resp, code := postTune(t, h.addrs[1], desc)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, v := range resp.Verdicts {
+		if !v.Shared {
+			t.Errorf("layer %s not served from replayed handoff", v.Layer)
+		}
+	}
+	if n := h.servers[1].Measurements(); n != 0 {
+		t.Errorf("rejoined peer measured %d times despite handoff replay", n)
+	}
+}
+
+// The background refinement backlog survives a restart: jobs enqueued for
+// analytically-answered requests are persisted in the timed snapshot and
+// re-enqueued on boot, so the measured upgrade still happens even if the
+// daemon restarts in between.
+func TestServerRefineQueuePersistsAcrossRestart(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "tuned.cache")
+	desc := repro.DescribeNetwork(testArch.Name, netA())
+	desc.Options = &repro.RequestOptions{Budget: 8, Seed: 9}
+
+	// First life: a dead measurement backend (100% injected failure) with a
+	// breaker that stays open — every answer is analytic and its refinement
+	// job can only wait.
+	srv1, err := New(Config{
+		Tune: tinyOpts(8, 9), Winograd: true, StatePath: state,
+		Chaos: chaos.Config{Seed: 1, FailRate: 1},
+		Breaker: autotune.BreakerConfig{
+			Threshold: 0.5, Window: 8, MinSamples: 4, Cooldown: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newHarnessServer(t, srv1)
+	resp, code := postTune(t, ts, desc)
+	if code != http.StatusOK || resp.Tier != autotune.TierAnalytic.String() {
+		t.Fatalf("dead backend: status %d tier %q, want 200 analytic", code, resp.Tier)
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(state + ".refine"); err != nil {
+		t.Fatalf("refine snapshot not written: %v", err)
+	}
+
+	// Second life: healthy backend. The restored backlog must measure the
+	// network without any client asking again.
+	srv2, ts2 := newTestServer(t, Config{
+		Tune: tinyOpts(8, 9), Winograd: true, StatePath: state, AnalyticOverflow: true,
+	})
+	waitUntil(t, "restored refinement job measured", func() bool {
+		return srv2.refineDone.Load() > 0
+	})
+	resp, code = postTune(t, ts2.URL, desc)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, v := range resp.Verdicts {
+		if v.Tier != autotune.TierRefined.String() {
+			t.Errorf("layer %s tier %q, want refined (restored queue measured it)", v.Layer, v.Tier)
+		}
+	}
+}
+
+// newHarnessServer serves one prebuilt Server over a real listener and
+// returns its base URL (teardown via t.Cleanup; Close is the caller's).
+func newHarnessServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return fmt.Sprintf("http://%s", ln.Addr())
+}

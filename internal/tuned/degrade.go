@@ -146,9 +146,13 @@ func refinedKey(archName string, kind autotune.Kind, shape string) string {
 	return archName + "|" + kind.String() + "|" + shape
 }
 
-// refineRequestKey identifies one refinable request — the dedup unit of
-// the queue, so a hammered analytic endpoint enqueues each network once.
-func refineRequestKey(archName string, layers []autotune.NetworkLayer, budget int, seed int64, winograd bool, kinds []autotune.Kind) string {
+// requestKey identifies one request by everything that shapes its answer —
+// architecture, budget, seed, winograd, candidate kinds, every layer shape.
+// It is the dedup unit of the refinement queue (a hammered analytic
+// endpoint enqueues each network once) and the routing key of the cluster
+// layer (identical requests from any replica converge on one owner, so the
+// cache dedup and warm-merge machinery keep working cluster-wide).
+func requestKey(archName string, layers []autotune.NetworkLayer, budget int, seed int64, winograd bool, kinds []autotune.Kind) string {
 	var b strings.Builder
 	b.WriteString(archName)
 	b.WriteByte('|')
@@ -173,7 +177,7 @@ func (s *Server) enqueueRefine(arch memsim.Arch, layers []autotune.NetworkLayer,
 	if s.refineCh == nil {
 		return
 	}
-	key := refineRequestKey(arch.Name, layers, opts.Budget, opts.Seed, winograd, kinds)
+	key := requestKey(arch.Name, layers, opts.Budget, opts.Seed, winograd, kinds)
 	s.refineMu.Lock()
 	if s.refinePending[key] {
 		s.refineMu.Unlock()
@@ -186,6 +190,7 @@ func (s *Server) enqueueRefine(arch memsim.Arch, layers []autotune.NetworkLayer,
 		winograd: winograd, kinds: kinds}
 	select {
 	case s.refineCh <- job:
+		s.rememberRefineJob(key, arch, layers, opts, winograd, kinds)
 	default:
 		s.refineDropped.Add(1)
 		s.refineMu.Lock()
@@ -212,9 +217,16 @@ func (s *Server) refineLoop() {
 // foreground traffic), then run the measured sweep against the shared
 // cache and mark the measured keys refined.
 func (s *Server) refineOne(j *refineJob) {
+	// A job aborted by shutdown (not attempted) stays in refineJobs so the
+	// final snapshot persists it and the next boot re-enqueues it; only an
+	// attempted job — measured or failed — leaves the persisted backlog.
+	aborted := false
 	defer func() {
 		s.refineMu.Lock()
 		delete(s.refinePending, j.key)
+		if !aborted {
+			delete(s.refineJobs, j.key)
+		}
 		s.refineMu.Unlock()
 	}()
 	var cost int64
@@ -227,6 +239,7 @@ func (s *Server) refineOne(j *refineJob) {
 		}
 		select {
 		case <-s.refineStop:
+			aborted = true
 			return
 		case <-time.After(refinePollInterval):
 		}
@@ -251,6 +264,13 @@ func (s *Server) refineOne(j *refineJob) {
 	s.refinedMu.Unlock()
 	if measured > 0 {
 		s.refineDone.Add(1)
+		if s.cluster != nil {
+			// The refinement just upgraded cache entries this replica owns;
+			// ship the measured upgrade to the key's other owners too.
+			tune := j.opts.Tune
+			tune.Budget = j.budget
+			s.replicateRequest(j.arch, j.layers, tune, j.winograd, j.kinds)
+		}
 	} else {
 		s.refineFailed.Add(1)
 	}

@@ -94,6 +94,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("tuned_cache_misses_total", "Tuning cache misses.", cs.Misses)
 	m.counter("tuned_cache_evictions_total", "Tuning cache evictions.", cs.Evictions)
 
+	s.clusterMetrics(&m)
+
 	m.gauge("tuned_inflight_budget", "Measurement budget currently reserved by admitted requests.", float64(s.adm.load()))
 	snapAge := -1.0
 	if ns := s.lastSnapshot.Load(); ns > 0 {

@@ -15,6 +15,7 @@ import (
 	"repro"
 	"repro/internal/autotune"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/memsim"
 	"repro/internal/shapes"
 )
@@ -92,6 +93,12 @@ type Config struct {
 	// queue (default 1; the queue exists whenever AnalyticOverflow or the
 	// breaker is configured).
 	RefineWorkers int
+	// Cluster, when its peer list is non-empty, joins this daemon to a
+	// replicated shard cluster (see internal/cluster and cluster.go): a
+	// consistent-hash ring routes each request key to its owning replicas,
+	// non-owners proxy with hedged failover, owners replicate verdicts, and
+	// writes for down peers park as hinted handoff. Zero value = standalone.
+	Cluster cluster.Config
 }
 
 // Server is the tuning service: an http.Handler plus the shared tuning
@@ -135,6 +142,7 @@ type Server struct {
 	refineWG      sync.WaitGroup
 	refineMu      sync.Mutex
 	refinePending map[string]bool
+	refineJobs    map[string]repro.NetworkDescription // pending jobs in persistable form
 	refinedMu     sync.Mutex
 	refinedKeys   map[string]bool
 
@@ -143,12 +151,15 @@ type Server struct {
 	tierRefined     atomic.Int64
 	verdictMu       sync.Mutex       // guards verdictByTK
 	verdictByTK     map[string]int64 // verdicts by (tier, kind), for /metrics
-	refineDone      atomic.Int64 // refinement jobs that measured their network
-	refineDropped   atomic.Int64 // jobs dropped on a full queue
-	refineFailed    atomic.Int64 // jobs whose measured sweep errored
-	breakerOpened   atomic.Int64 // transitions into each breaker state
+	refineDone      atomic.Int64     // refinement jobs that measured their network
+	refineDropped   atomic.Int64     // jobs dropped on a full queue
+	refineFailed    atomic.Int64     // jobs whose measured sweep errored
+	breakerOpened   atomic.Int64     // transitions into each breaker state
 	breakerHalfOpen atomic.Int64
 	breakerClosed   atomic.Int64
+
+	// cluster is the replicated-shard runtime (cluster.go); nil standalone.
+	cluster *clusterState
 
 	snapStop chan struct{}
 	snapDone chan struct{}
@@ -228,6 +239,7 @@ func New(cfg Config) (*Server, error) {
 		s.refineCh = make(chan *refineJob, refineQueueCap)
 		s.refineStop = make(chan struct{})
 		s.refinePending = make(map[string]bool)
+		s.refineJobs = make(map[string]repro.NetworkDescription)
 		for i := 0; i < workers; i++ {
 			s.refineWG.Add(1)
 			go s.refineLoop()
@@ -251,6 +263,16 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/bench", s.handleBench)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.initCluster(mux)
+	if cfg.StatePath != "" {
+		// The auxiliary snapshots ride alongside the cache state file:
+		// parked handoff survives a crash, and the refinement backlog is
+		// replayed so analytically-answered clients still get their measured
+		// upgrade after a restart.
+		s.restoreHandoff()
+		s.restoreRefineQueue()
+	}
+	s.startCluster()
 	s.mux = mux
 	return s, nil
 }
@@ -277,6 +299,10 @@ func (s *Server) Close() error {
 			close(s.refineStop)
 			s.refineWG.Wait()
 		}
+		// Stop probing and wait out in-flight replication pushes before the
+		// final flush, so entries that fail their push are parked as handoff
+		// in time to be persisted.
+		s.stopCluster()
 	})
 	if s.cfg.StatePath == "" {
 		return nil
@@ -284,10 +310,14 @@ func (s *Server) Close() error {
 	return s.flushState()
 }
 
-// flushState writes one atomic snapshot and records its outcome for
+// flushState writes one atomic snapshot — the cache plus the auxiliary
+// handoff and refinement-backlog files — and records its outcome for
 // /healthz.
 func (s *Server) flushState() error {
 	err := s.cache.SaveFile(s.cfg.StatePath)
+	if err == nil {
+		err = s.flushAux()
+	}
 	if err != nil {
 		msg := err.Error()
 		s.lastFlushErr.Store(&msg)
@@ -377,8 +407,8 @@ func errJSON(w http.ResponseWriter, status int, format string, args ...any) {
 const maxRequestBody = 1 << 20
 
 // handleTune is POST /v1/tune: decode and validate the network
-// description, pass admission, join the current batch, answer with the
-// verdicts.
+// description, route it to its owning replica when clustered, pass
+// admission, join the current batch, answer with the verdicts.
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
 		errJSON(w, http.StatusServiceUnavailable, "server is shutting down")
@@ -401,7 +431,17 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	}
 	layers := desc.NetworkLayers()
 	opts, winograd, kinds := s.requestOptions(desc.Options)
+	if s.cluster != nil && s.routeTune(w, r, desc, arch, layers, opts, winograd, kinds) {
+		return
+	}
+	s.serveTune(w, arch, layers, opts, winograd, kinds)
+}
 
+// serveTune answers one request from this replica: the breaker check, the
+// admission gate, the batched sweep, the response. It is the local half of
+// the routing seam — both client requests this replica owns and requests
+// peers forward land here.
+func (s *Server) serveTune(w http.ResponseWriter, arch memsim.Arch, layers []autotune.NetworkLayer, opts autotune.Options, winograd bool, kinds []autotune.Kind) {
 	// Degradation trigger: a tripped breaker means a measured search could
 	// only burn its budget on fast-fails, so answer instantly from the
 	// analytic tier and let the refinement queue (and the next half-open
@@ -444,6 +484,11 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.markTiers(arch.Name, job.verdicts)
+	if s.cluster != nil {
+		// Replicate what the sweep just cached to the key's other owners,
+		// off the response path.
+		s.replicateRequest(arch, layers, opts, winograd, kinds)
+	}
 	resp := repro.TuneResponse{Arch: arch.Name,
 		Verdicts:       repro.DescribeVerdicts(job.verdicts),
 		NetworkSeconds: autotune.NetworkSeconds(job.verdicts)}
@@ -613,6 +658,10 @@ type Health struct {
 	// far.
 	RefineQueueDepth int   `json:"refine_queue_depth,omitempty"`
 	RefinedNetworks  int64 `json:"refined_networks,omitempty"`
+	// Cluster is the replicated-shard block — this replica's identity, the
+	// peer table with reachability, the hinted-handoff backlog — omitted
+	// when the daemon runs standalone.
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
 }
 
 // handleHealth is GET /healthz.
@@ -643,6 +692,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		AnalyticVerdicts:   s.tierAnalytic.Load(),
 		RefinedVerdicts:    s.tierRefined.Load(),
 		RefinedNetworks:    s.refineDone.Load(),
+		Cluster:            s.clusterHealth(),
 	}
 	if s.breaker != nil {
 		h.Breaker = s.breaker.State().String()

@@ -40,6 +40,21 @@ func tinyOpts(budget int, seed int64) autotune.Options {
 // verdicts, exact measurement counts) holds on a flaky backend.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	cfg = applyE2EEnv(t, cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// applyE2EEnv applies the CI environment gates to one server config — the
+// shared half of newTestServer, reused by the cluster harness so every
+// replica of a cluster test runs under the same chaos/degraded regime.
+func applyE2EEnv(t *testing.T, cfg Config) Config {
+	t.Helper()
 	if env := os.Getenv("TUNED_E2E_CHAOS"); env != "" && !cfg.Chaos.Enabled() {
 		rate, err := strconv.ParseFloat(env, 64)
 		if err != nil || rate <= 0 || rate >= 1 {
@@ -64,13 +79,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 		cfg.Breaker = autotune.BreakerConfig{
 			Threshold: 0.999, Window: 1 << 16, MinSamples: 1 << 16, Cooldown: time.Hour}
 	}
-	srv, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv)
-	t.Cleanup(ts.Close)
-	return srv, ts
+	return cfg
 }
 
 // degradedE2E reports whether the suite runs under the CI degraded-mode

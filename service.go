@@ -206,6 +206,65 @@ func ParseNetworkDescription(data []byte) (NetworkDescription, error) {
 	return d, nil
 }
 
+// MaxForwardAttempts caps the Attempt counter a forwarded request may
+// carry — far above what any legal failover ladder produces (one hop per
+// owner), so a forwarding loop between misconfigured replicas dies at the
+// bound instead of circulating.
+const MaxForwardAttempts = 8
+
+// ForwardedTuneRequest is the replica-to-replica wire envelope: what a
+// non-owner replica POSTs to the owning replica's /v1/cluster/tune when it
+// proxies a client request. Origin names the replica that accepted the
+// client connection (for metrics and loop diagnosis); Attempt counts the
+// forwards this request has survived. The receiver always serves the inner
+// description locally — it never re-forwards — so the envelope carries no
+// routing state beyond those two fields.
+type ForwardedTuneRequest struct {
+	Origin  string             `json:"origin"`
+	Attempt int                `json:"attempt,omitempty"`
+	Network NetworkDescription `json:"network"`
+}
+
+// maxForwardOrigin bounds the advertised origin address length on the wire.
+const maxForwardOrigin = 256
+
+// Validate applies the same hardening to the envelope that the inner
+// description already gets: bounded fields, nothing optional left unchecked.
+func (f ForwardedTuneRequest) Validate() error {
+	if f.Origin == "" {
+		return fmt.Errorf("repro: forwarded request: missing origin")
+	}
+	if len(f.Origin) > maxForwardOrigin {
+		return fmt.Errorf("repro: forwarded request: origin longer than %d bytes", maxForwardOrigin)
+	}
+	if f.Attempt < 0 || f.Attempt > MaxForwardAttempts {
+		return fmt.Errorf("repro: forwarded request: attempt %d outside [0, %d]", f.Attempt, MaxForwardAttempts)
+	}
+	return f.Network.Validate()
+}
+
+// ParseForwardedTuneRequest decodes and validates a peer-forwarded tune
+// request with the same hardening as ParseNetworkDescription: unknown
+// fields, trailing data and out-of-range values are rejected, no input
+// panics (the decoder is fuzzed), and the inner description comes back with
+// defaults filled.
+func ParseForwardedTuneRequest(data []byte) (ForwardedTuneRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f ForwardedTuneRequest
+	if err := dec.Decode(&f); err != nil {
+		return ForwardedTuneRequest{}, fmt.Errorf("repro: forwarded request: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return ForwardedTuneRequest{}, fmt.Errorf("repro: forwarded request: trailing data after JSON document")
+	}
+	f.Network = f.Network.normalized()
+	if err := f.Validate(); err != nil {
+		return ForwardedTuneRequest{}, err
+	}
+	return f, nil
+}
+
 // ConfigDescription is the wire form of a tuned configuration.
 type ConfigDescription struct {
 	TileX          int `json:"tile_x"`

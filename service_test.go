@@ -90,6 +90,63 @@ func TestNetworkDescriptionLayerCap(t *testing.T) {
 	}
 }
 
+// The forwarded-request envelope carries a full network description between
+// replicas; the inner description must survive untouched and get the same
+// default-filling the client path applies.
+func TestForwardedTuneRequestRoundTrip(t *testing.T) {
+	desc := DescribeNetwork("V100", models.ResNet18().NetworkLayers())
+	desc.Options = &RequestOptions{Budget: 24, Seed: 7, Kinds: []string{"fft"}}
+	data, err := json.Marshal(ForwardedTuneRequest{Origin: "http://127.0.0.1:9911", Attempt: 1, Network: desc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ParseForwardedTuneRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Origin != "http://127.0.0.1:9911" || fr.Attempt != 1 {
+		t.Errorf("envelope fields changed: %+v", fr)
+	}
+	if len(fr.Network.Layers) != len(desc.Layers) || fr.Network.Arch != "V100" {
+		t.Errorf("inner description changed: %d layers, arch %q", len(fr.Network.Layers), fr.Network.Arch)
+	}
+	if fr.Network.Options == nil || fr.Network.Options.Budget != 24 {
+		t.Errorf("inner options lost: %+v", fr.Network.Options)
+	}
+	// Defaults fill like the client path.
+	min, err := ParseForwardedTuneRequest([]byte(`{"origin":"x","network":{"arch":"V100","layers":[{"cin":16,"hin":28,"cout":32,"hker":3,"pad":1}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := min.Network.Layers[0]; l.Batch != 1 || l.Win != 28 || l.Stride != 1 || l.Name != "layer0" {
+		t.Errorf("defaults not filled in forwarded description: %+v", l)
+	}
+}
+
+func TestForwardedTuneRequestRejections(t *testing.T) {
+	inner := `{"arch":"V100","layers":[{"cin":8,"hin":8,"cout":8,"hker":3,"pad":1}]}`
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"missing origin", `{"network":` + inner + `}`, "missing origin"},
+		{"long origin", `{"origin":"` + strings.Repeat("a", 300) + `","network":` + inner + `}`, "origin longer"},
+		{"negative attempt", `{"origin":"x","attempt":-1,"network":` + inner + `}`, "attempt"},
+		{"attempt over cap", `{"origin":"x","attempt":9,"network":` + inner + `}`, "attempt"},
+		{"unknown field", `{"origin":"x","hops":1,"network":` + inner + `}`, "unknown field"},
+		{"trailing data", `{"origin":"x","network":` + inner + `} extra`, "trailing data"},
+		{"bad inner description", `{"origin":"x","network":{"arch":"","layers":[]}}`, "missing arch"},
+		{"not json", `forward!`, "forwarded request"},
+	}
+	for _, c := range cases {
+		_, err := ParseForwardedTuneRequest([]byte(c.body))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+		} else if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
 // Config wire form round-trips bit for bit.
 func TestConfigDescriptionRoundTrip(t *testing.T) {
 	c := Config{TileX: 4, TileY: 2, TileZ: 8, ThreadsX: 16, ThreadsY: 8, ThreadsZ: 1,
